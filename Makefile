@@ -1,0 +1,47 @@
+# Convenience targets for the hybrid-LLC reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench bench-figures validate experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark suite: one benchmark per paper table/figure, plus the
+# ablation/extension benches and the substrate microbenchmarks.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x ./...
+
+# Only the figure/table reproductions, with their row logs.
+bench-figures:
+	$(GO) test -bench='Fig|Table' -benchtime 1x -v .
+
+# End-to-end self checks (bit-exact data path, trace fidelity, invariants).
+validate:
+	$(GO) run ./cmd/validate
+
+# Regenerate the calibration outputs under results/ (tens of minutes).
+experiments:
+	mkdir -p results
+	$(GO) run ./cmd/compressprofile                     > results/fig2.txt
+	$(GO) run ./cmd/cpthsweep  -mixes 1,4,6,8           > results/fig67.txt
+	$(GO) run ./cmd/cpthsweep  -fig8 -mixes 1,4,6,8     > results/fig8.txt
+	$(GO) run ./cmd/thsweep    -mixes 1,4,6,8           > results/fig9.txt
+	$(GO) run ./cmd/forecast   -mixes 1,4,6,8 -step 0.05 > results/fig10a.txt
+	$(GO) run ./cmd/forecast   -mixes 1,4 -sram 3 -nvm 13 -policies core > results/fig10b.txt
+	$(GO) run ./cmd/forecast   -mixes 1,4 -cv 0.25 -policies core        > results/fig10c.txt
+	$(GO) run ./cmd/forecast   -mixes 1,4 -l2kb 256 -policies core       > results/fig11a.txt
+	$(GO) run ./cmd/forecast   -mixes 1,4 -nvmlat 1.5 -policies core     > results/fig11b.txt
+	$(GO) run ./cmd/cpthsweep  -epochsweep -mixes 1,4   > results/epochsweep.txt
+	$(GO) run ./cmd/energy     -mixes 1,4,6,8           > results/energy.txt
+
+clean:
+	rm -f test_output.txt bench_output.txt

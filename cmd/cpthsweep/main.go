@@ -1,0 +1,111 @@
+// Command cpthsweep reproduces the compression-threshold studies:
+//
+//	(default)    Fig. 6 and Fig. 7 — LLC hit rate and NVM bytes written
+//	             versus CPth for CA and CA_RWR, normalised to BH, plus
+//	             the adaptive CP_SD reference line.
+//	-fig8        Fig. 8 — fraction of epochs each CPth value is optimal,
+//	             across NVM capacities (8a) and across mixes (8b).
+//	-epochsweep  §IV-C — set-dueling epoch-size sensitivity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	mixesFlag := flag.String("mixes", "1,4", `comma-separated mix numbers (1-10) or "all"`)
+	warmup := flag.Uint64("warmup", 2_000_000, "warm-up cycles")
+	measure := flag.Uint64("measure", 8_000_000, "measured cycles")
+	scale := flag.Float64("scale", cfg.Scale, "workload footprint scale")
+	sets := flag.Int("sets", cfg.LLCSets, "LLC sets")
+	fig8 := flag.Bool("fig8", false, "produce the Fig. 8 optimal-CPth distributions")
+	epochSweep := flag.Bool("epochsweep", false, "produce the epoch-size sensitivity table")
+	flag.Parse()
+
+	cfg.Scale = *scale
+	cfg.LLCSets = *sets
+	mixes, err := cliutil.ParseMixes(*mixesFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *fig8:
+		runFig8(cfg, mixes)
+	case *epochSweep:
+		runEpochSweep(cfg, mixes, *warmup, *measure)
+	default:
+		runFig67(cfg, mixes, *warmup, *measure)
+	}
+}
+
+func runFig67(cfg core.Config, mixes []int, warmup, measure uint64) {
+	sweep, err := experiments.Fig6And7CPthSweep(cfg, mixes, warmup, measure)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Fig. 6 / Fig. 7 — normalised to BH")
+	fmt.Printf("%5s %12s %12s %12s %12s\n", "CPth", "CA hits", "CA_RWR hits", "CA bytes", "CA_RWR bytes")
+	for _, r := range sweep.Rows {
+		fmt.Printf("%5d %12.4f %12.4f %12.4f %12.4f\n", r.CPth,
+			sweep.NormalizedHitRate(r.CAHits),
+			sweep.NormalizedHitRate(r.CARWRHits),
+			sweep.NormalizedBytes(r.CANVMBytes),
+			sweep.NormalizedBytes(r.CARWRNVMBytes))
+	}
+	fmt.Printf("%5s %12.4f %12s %12.4f\n", "CP_SD",
+		sweep.NormalizedHitRate(sweep.CPSDHits), "-", sweep.NormalizedBytes(sweep.CPSDBytes))
+}
+
+func runFig8(cfg core.Config, mixes []int) {
+	res, err := experiments.Fig8OptimalCPth(cfg, mixes, []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5}, 3, 16)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Fig. 8a — % epochs each CPth is optimal, by NVM capacity")
+	fmt.Printf("%9s", "capacity")
+	for _, c := range res.Candidates {
+		fmt.Printf(" %6d", c)
+	}
+	fmt.Println()
+	for i, capacity := range res.Capacities {
+		fmt.Printf("%8.0f%%", capacity*100)
+		for _, f := range res.ByCapacity[i] {
+			fmt.Printf(" %5.1f%%", f*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nFig. 8b — per mix at 100% capacity")
+	for i, m := range res.Mixes {
+		fmt.Printf("mix %-5d", m+1)
+		for _, f := range res.ByMix[i] {
+			fmt.Printf(" %5.1f%%", f*100)
+		}
+		fmt.Println()
+	}
+}
+
+func runEpochSweep(cfg core.Config, mixes []int, warmup, measure uint64) {
+	sizes := []uint64{500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000}
+	rows, err := experiments.EpochSizeSweep(cfg, mixes, sizes, warmup, measure)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Set-dueling epoch-size sensitivity (§IV-C; paper picks 2M)")
+	fmt.Printf("%12s %10s\n", "epoch", "hit rate")
+	for _, r := range rows {
+		fmt.Printf("%12d %10.4f\n", r.EpochCycles, r.HitRate)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpthsweep:", err)
+	os.Exit(1)
+}

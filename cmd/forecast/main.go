@@ -1,0 +1,131 @@
+// Command forecast reproduces the lifetime/performance evolution figures
+// (Fig. 1, Fig. 10a/b/c, Fig. 11a/b/c): for each selected policy it runs
+// the aging forecast procedure across the selected mixes and prints the
+// lifetime to 50% NVM capacity plus the IPC trajectory (normalised to the
+// 16-way SRAM upper bound).
+//
+// Examples:
+//
+//	forecast                         # Fig 10a curve set, quick mixes
+//	forecast -mixes all              # full Table V workload
+//	forecast -sram 3 -nvm 13         # Fig 10b
+//	forecast -cv 0.25                # Fig 10c
+//	forecast -l2kb 256               # Fig 11a
+//	forecast -nvmlat 1.5             # Fig 11b
+//	forecast -nvm 10                 # Fig 11c equal-storage point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/forecast"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	policies := flag.String("policies", "standard", `comma-separated curve labels, "standard" or "core"`)
+	mixesFlag := flag.String("mixes", "1,4", `comma-separated mix numbers (1-10) or "all"`)
+	sram := flag.Int("sram", cfg.SRAMWays, "SRAM ways")
+	nvmWays := flag.Int("nvm", cfg.NVMWays, "NVM ways")
+	cv := flag.Float64("cv", cfg.EnduranceCV, "endurance coefficient of variation")
+	mean := flag.Float64("mean", cfg.EnduranceMean, "endurance mean writes")
+	l2kb := flag.Int("l2kb", cfg.L2SizeKB, "L2 size in KB")
+	nvmlat := flag.Float64("nvmlat", 1.0, "NVM data-array latency factor")
+	scale := flag.Float64("scale", cfg.Scale, "workload footprint scale")
+	sets := flag.Int("sets", cfg.LLCSets, "LLC sets")
+	phase := flag.Uint64("phase", 10_000_000, "measured cycles per forecast phase")
+	warm := flag.Uint64("warmup", 2_000_000, "warm-up cycles per phase")
+	step := flag.Float64("step", 0.025, "capacity drop per prediction phase")
+	rotate := flag.Bool("rotate", false, "enable Start-Gap-style inter-set wear leveling")
+	flag.Parse()
+
+	cfg.SRAMWays, cfg.NVMWays = *sram, *nvmWays
+	cfg.EnduranceCV = *cv
+	cfg.EnduranceMean = *mean
+	cfg.L2SizeKB = *l2kb
+	cfg.NVMLatencyFactor = *nvmlat
+	cfg.Scale = *scale
+	cfg.LLCSets = *sets
+
+	specs, err := cliutil.SelectForecastSpecs(*policies)
+	if err != nil {
+		fatal(err)
+	}
+	mixes, err := cliutil.ParseMixes(*mixesFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	fcfg := forecast.DefaultConfig()
+	fcfg.PhaseCycles = *phase
+	fcfg.WarmupCycles = *warm
+	fcfg.CapacityStep = *step
+	fcfg.InterSetRotation = *rotate
+
+	fs, err := experiments.ForecastComparison(cfg, specs, mixes, fcfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Normalise to the SRAM16 upper bound if it was run.
+	bound := 0.0
+	if up, ok := experiments.FindSpec(fs, "SRAM16"); ok {
+		bound = up.InitialIPC
+	}
+
+	fmt.Printf("%-11s %10s %10s %10s %9s\n", "policy", "IPC(t=0)", "norm.IPC", "life(mo)", "censored")
+	for _, pf := range fs {
+		life := "inf"
+		if !math.IsInf(pf.MeanLifetimeMonths, 1) {
+			life = fmt.Sprintf("%.1f", pf.MeanLifetimeMonths)
+		}
+		norm := "-"
+		if bound > 0 {
+			norm = fmt.Sprintf("%.4f", pf.InitialIPC/bound)
+		}
+		fmt.Printf("%-11s %10.4f %10s %10s %9d\n", pf.Label, pf.InitialIPC, norm, life, pf.CensoredMixes)
+	}
+
+	// IPC trajectory on a monthly grid up to the slowest-aging finite curve.
+	maxMo := 0.0
+	for _, pf := range fs {
+		if !math.IsInf(pf.MeanLifetimeMonths, 1) && pf.MeanLifetimeMonths > maxMo {
+			maxMo = pf.MeanLifetimeMonths
+		}
+	}
+	if maxMo == 0 {
+		return
+	}
+	fmt.Printf("\nIPC vs time (months):\n%-11s", "policy")
+	points := 8
+	for i := 0; i <= points; i++ {
+		fmt.Printf(" %7.1f", maxMo*float64(i)/float64(points))
+	}
+	fmt.Println()
+	for _, pf := range fs {
+		if pf.Label == "SRAM16" || pf.Label == "SRAM4" {
+			continue
+		}
+		fmt.Printf("%-11s", pf.Label)
+		for i := 0; i <= points; i++ {
+			t := maxMo * float64(i) / float64(points) * forecast.SecondsPerMonth
+			v := pf.IPCAt(t)
+			if bound > 0 {
+				v /= bound
+			}
+			fmt.Printf(" %7.4f", v)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "forecast:", err)
+	os.Exit(1)
+}

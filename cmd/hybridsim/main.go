@@ -1,0 +1,98 @@
+// Command hybridsim runs a single hybrid-LLC simulation window with any
+// insertion policy and prints the performance and NVM-write summary.
+//
+// Examples:
+//
+//	hybridsim -policy CP_SD -mix 5
+//	hybridsim -policy CA_RWR -cpth 40 -measure 20000000
+//	hybridsim -policy CP_SD_Th -th 8 -capacity 0.8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	policyName := flag.String("policy", cfg.PolicyName, "insertion policy (SRAM16, SRAM4, BH, BH_CP, CA, CA_RWR, CP_SD, CP_SD_Th, LHybrid, TAP)")
+	mix := flag.Int("mix", 1, "Table V mix number (1-10)")
+	seed := flag.Uint64("seed", cfg.Seed, "deterministic seed")
+	scale := flag.Float64("scale", cfg.Scale, "workload footprint scale")
+	sets := flag.Int("sets", cfg.LLCSets, "LLC sets")
+	sram := flag.Int("sram", cfg.SRAMWays, "SRAM ways")
+	nvmWays := flag.Int("nvm", cfg.NVMWays, "NVM ways")
+	l2kb := flag.Int("l2kb", cfg.L2SizeKB, "L2 size in KB")
+	cpth := flag.Int("cpth", cfg.CPth, "fixed compression threshold for CA/CA_RWR")
+	th := flag.Float64("th", 4, "CP_SD_Th hit-sacrifice percentage")
+	tw := flag.Float64("tw", 5, "CP_SD_Th write-reduction percentage")
+	cv := flag.Float64("cv", cfg.EnduranceCV, "endurance coefficient of variation")
+	nvmlat := flag.Float64("nvmlat", 1.0, "NVM data-array latency factor")
+	capacity := flag.Float64("capacity", 1.0, "pre-age the NVM part to this capacity fraction")
+	warmup := flag.Uint64("warmup", 2_000_000, "warm-up cycles")
+	measure := flag.Uint64("measure", 10_000_000, "measured cycles")
+	jsonOut := flag.Bool("json", false, "emit the summary as JSON")
+	prefetch := flag.Bool("prefetch", false, "enable the L2 stride prefetcher")
+	rrip := flag.Bool("rrip", false, "use fit-RRIP NVM replacement instead of fit-LRU")
+	flag.Parse()
+
+	cfg.PolicyName = *policyName
+	cfg.MixID = *mix - 1
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	cfg.LLCSets = *sets
+	cfg.SRAMWays = *sram
+	cfg.NVMWays = *nvmWays
+	cfg.L2SizeKB = *l2kb
+	cfg.CPth = *cpth
+	cfg.Th, cfg.Tw = *th, *tw
+	cfg.EnduranceCV = *cv
+	cfg.NVMLatencyFactor = *nvmlat
+	cfg.EnablePrefetcher = *prefetch
+	cfg.NVMRRIP = *rrip
+
+	sys, err := cfg.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridsim:", err)
+		os.Exit(1)
+	}
+	if *capacity < 1 {
+		core.PreAge(sys, *capacity)
+	}
+	s := core.Measure(sys, *warmup, *measure)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			fmt.Fprintln(os.Stderr, "hybridsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("policy            %s\n", s.Policy)
+	fmt.Printf("mix               %d\n", *mix)
+	fmt.Printf("mean IPC          %.4f\n", s.MeanIPC)
+	fmt.Printf("LLC hit rate      %.4f  (%d hits / %d misses)\n", s.HitRate, s.Hits, s.Misses)
+	fmt.Printf("SRAM / NVM hits   %d / %d\n", s.SRAMHits, s.NVMHits)
+	fmt.Printf("LLC inserts       %d  (migrations %d)\n", s.Inserts, s.Migrations)
+	fmt.Printf("NVM block writes  %d\n", s.NVMBlockWrites)
+	fmt.Printf("NVM bytes written %s\n", stats.FormatSI(float64(s.NVMBytesWritten)))
+	fmt.Printf("NVM capacity      %.3f\n", s.Capacity)
+	if d, ok := core.Dueling(sys); ok {
+		fmt.Printf("CPth winner       %d  (epoch history %v)\n", d.Winner(), tail(d.History, 8))
+	}
+}
+
+func tail(xs []int, n int) []int {
+	if len(xs) <= n {
+		return xs
+	}
+	return xs[len(xs)-n:]
+}

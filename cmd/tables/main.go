@@ -1,0 +1,63 @@
+// Command tables prints the paper's configuration tables: Table I (BDI
+// encodings), Table II (CA_RWR decision matrix), Table III (policy
+// summary), Table IV (system specification), Table V (workload mixes) and
+// the §V-G metadata-overhead analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table: 1,2,3,4,5,overhead,all")
+	cpth := flag.Int("cpth", 37, "threshold shown in Table II")
+	flag.Parse()
+
+	show := func(t string) bool { return *table == "all" || *table == t }
+
+	if show("1") {
+		fmt.Println("Table I — BDI compression encodings")
+		fmt.Print(experiments.Table1BDI())
+		fmt.Println()
+	}
+	if show("2") {
+		fmt.Println("Table II — CA_RWR insertion decision")
+		fmt.Print(experiments.Table2CARWR(*cpth))
+		fmt.Println()
+	}
+	if show("3") {
+		fmt.Println("Table III — tested insertion policies")
+		fmt.Printf("%-10s %-12s %-12s %-10s\n", "Name", "Disabling", "Compression", "NVM-aware")
+		for _, r := range experiments.Table3Policies() {
+			fmt.Printf("%-10s %-12s %-12v %-10v\n", r.Name, r.Granularity, r.Compression, r.NVMAware)
+		}
+		fmt.Println()
+	}
+	if show("4") {
+		fmt.Println("Table IV — system specification (scaled defaults)")
+		fmt.Print(experiments.Table4System(core.DefaultConfig()))
+		fmt.Println()
+	}
+	if show("5") {
+		fmt.Println("Table V — SPEC CPU 2006 and 2017 mixes")
+		fmt.Print(experiments.Table5Mixes())
+		fmt.Println()
+	}
+	if show("overhead") {
+		fmt.Println("Metadata overhead (§V-G)")
+		for _, r := range experiments.OverheadTable() {
+			fmt.Printf("%-36s %3d bits/frame  %5.2f%% of NVM data array\n",
+				r.Scheme, r.BitsPerFrame, r.FractionOfNVMData*100)
+		}
+		fmt.Println()
+	}
+	if *table != "all" && !show("1") && !show("2") && !show("3") && !show("4") && !show("5") && !show("overhead") {
+		fmt.Fprintf(os.Stderr, "tables: unknown table %q\n", *table)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,44 @@
+// Command thsweep reproduces Fig. 9: the CP_SD_Th rule's trade-off between
+// LLC hits and NVM bytes written, sweeping Th at fixed Tw across NVM
+// capacity operating points, all normalised to BH at 100% capacity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	mixesFlag := flag.String("mixes", "1,4", `comma-separated mix numbers (1-10) or "all"`)
+	warmup := flag.Uint64("warmup", 2_000_000, "warm-up cycles")
+	measure := flag.Uint64("measure", 8_000_000, "measured cycles")
+	scale := flag.Float64("scale", cfg.Scale, "workload footprint scale")
+	tw := flag.Float64("tw", 5, "Tw: minimum write reduction percentage")
+	flag.Parse()
+
+	cfg.Scale = *scale
+	mixes, err := cliutil.ParseMixes(*mixesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thsweep:", err)
+		os.Exit(1)
+	}
+
+	ths := []float64{0, 2, 4, 6, 8}
+	caps := []float64{1.0, 0.9, 0.8}
+	pts, err := experiments.Fig9ThTradeoff(cfg, mixes, ths, caps, *tw, *warmup, *measure)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thsweep:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Fig. 9 — CP_SD_Th trade-off (Tw = %g%%), normalised to BH @ 100%%\n", *tw)
+	fmt.Printf("%9s %5s %10s %10s\n", "capacity", "Th", "hits", "NVM bytes")
+	for _, p := range pts {
+		fmt.Printf("%8.0f%% %5.0f %10.4f %10.4f\n", p.Capacity*100, p.Th, p.Hits, p.NVMBytes)
+	}
+}

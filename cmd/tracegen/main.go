@@ -1,0 +1,90 @@
+// Command tracegen records the memory-access trace of a synthetic SPEC
+// application (or a whole Table V mix) to the compact binary format of
+// internal/trace, enabling HyCSim-style trace-driven studies where every
+// policy configuration replays the identical stimulus.
+//
+// Examples:
+//
+//	tracegen -app zeusmp06 -n 1000000 -o zeusmp.trc
+//	tracegen -mix 4 -n 500000 -o mix4          # writes mix4.core{0..3}.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	appName := flag.String("app", "", "application profile to trace (see -list)")
+	mix := flag.Int("mix", 0, "Table V mix to trace (1-10); one file per core")
+	n := flag.Int("n", 1_000_000, "number of accesses to record")
+	out := flag.String("o", "trace.trc", "output file (or prefix for -mix)")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	scale := flag.Float64("scale", 0.25, "footprint scale")
+	list := flag.Bool("list", false, "list available application profiles")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0)
+		for name := range workload.Profiles() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	switch {
+	case *appName != "":
+		prof, ok := workload.Profiles()[*appName]
+		if !ok {
+			fatal(fmt.Errorf("unknown application %q (use -list)", *appName))
+		}
+		app, err := workload.NewApp(prof.Scale(*scale), workload.AppSpacing, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeTrace(app, *n, *out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d accesses of %s to %s\n", *n, *appName, *out)
+	case *mix >= 1 && *mix <= 10:
+		apps, err := workload.NewMix(*mix-1, *seed, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		for i, app := range apps {
+			name := fmt.Sprintf("%s.core%d.trc", *out, i)
+			if err := writeTrace(app, *n, name); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %d accesses of %s to %s\n", *n, app.Profile().Name, name)
+		}
+	default:
+		fatal(fmt.Errorf("need -app NAME or -mix 1..10"))
+	}
+}
+
+func writeTrace(app *workload.App, n int, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Record(app, n, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

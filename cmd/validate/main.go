@@ -1,0 +1,161 @@
+// Command validate runs the repository's end-to-end self-checks: the
+// bit-exact NVM data path under live traffic and aging, trace-replay
+// fidelity, structural LLC invariants for every policy, and determinism.
+// It exits non-zero if any check fails.
+//
+//	validate          # quick (seconds)
+//	validate -deep    # larger windows
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hier"
+	"repro/internal/hybrid"
+	"repro/internal/nvm"
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+var failed bool
+
+func check(name string, err error) {
+	if err != nil {
+		failed = true
+		fmt.Printf("FAIL  %-40s %v\n", name, err)
+		return
+	}
+	fmt.Printf("ok    %s\n", name)
+}
+
+func main() {
+	deep := flag.Bool("deep", false, "run larger validation windows")
+	flag.Parse()
+	cycles := uint64(2_000_000)
+	if *deep {
+		cycles = 10_000_000
+	}
+
+	check("materialized data path (live traffic)", materialized(cycles))
+	check("materialized data path (after aging)", materializedAged(cycles))
+	check("trace replay fidelity", traceFidelity(cycles))
+	check("LLC invariants, all policies", invariants(cycles))
+	check("determinism", determinism(cycles))
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("all validations passed")
+}
+
+func materialized(cycles uint64) error {
+	cfg := core.QuickConfig()
+	cfg.MaterializeData = true
+	sys, err := cfg.Build()
+	if err != nil {
+		return err
+	}
+	sys.Run(cycles)
+	if n := sys.LLC().Stats.DataPathErrors; n != 0 {
+		return fmt.Errorf("%d data-path verification errors", n)
+	}
+	if sys.LLC().Stats.NVMHits == 0 {
+		return fmt.Errorf("no NVM hits: verification never exercised")
+	}
+	return sys.LLC().VerifyAllResident()
+}
+
+func materializedAged(cycles uint64) error {
+	cfg := core.QuickConfig()
+	cfg.MaterializeData = true
+	sys, err := cfg.Build()
+	if err != nil {
+		return err
+	}
+	sys.Run(cycles / 2)
+	core.PreAge(sys, 0.8)
+	sys.LLC().Array().Counter().Advance(29)
+	sys.Run(cycles / 2)
+	if n := sys.LLC().Stats.DataPathErrors; n != 0 {
+		return fmt.Errorf("%d data-path errors after aging", n)
+	}
+	return sys.LLC().VerifyAllResident()
+}
+
+func traceFidelity(cycles uint64) error {
+	const mix, seed, scale = 3, 9, 0.15
+	mk := func() *hybrid.LLC {
+		return hybrid.New(hybrid.Config{
+			Sets: 128, SRAMWays: 4, NVMWays: 12,
+			Policy:     policy.CARWR{},
+			Thresholds: hybrid.FixedThreshold(58),
+			Endurance:  nvm.EnduranceModel{Mean: 1e10, CV: 0.2},
+			Sampler:    stats.NewRNG(2),
+		})
+	}
+	hcfg := hier.DefaultConfig()
+
+	genApps, err := workload.NewMix(mix, seed, scale)
+	if err != nil {
+		return err
+	}
+	gen := hier.New(hcfg, mk(), genApps).Run(cycles)
+
+	recApps, _ := workload.NewMix(mix, seed, scale)
+	contentApps, _ := workload.NewMix(mix, seed, scale)
+	progs := make([]hier.Program, len(recApps))
+	for i, app := range recApps {
+		var buf bytes.Buffer
+		if err := trace.Record(app, int(cycles), &buf); err != nil {
+			return err
+		}
+		rep, err := trace.Load(&buf)
+		if err != nil {
+			return err
+		}
+		progs[i] = trace.NewProgram(rep, contentApps[i])
+	}
+	rep := hier.NewFromPrograms(hcfg, mk(), progs).Run(cycles)
+	if gen.LLC != rep.LLC || gen.MeanIPC != rep.MeanIPC {
+		return fmt.Errorf("trace-driven run diverged from generator-driven run")
+	}
+	return nil
+}
+
+func invariants(cycles uint64) error {
+	for _, name := range core.Policies() {
+		cfg := core.QuickConfig()
+		cfg.PolicyName = name
+		cfg.Th = 4
+		sys, err := cfg.Build()
+		if err != nil {
+			return fmt.Errorf("%s: %v", name, err)
+		}
+		sys.Run(cycles)
+		if err := sys.LLC().CheckInvariants(); err != nil {
+			return fmt.Errorf("%s: %v", name, err)
+		}
+	}
+	return nil
+}
+
+func determinism(cycles uint64) error {
+	run := func() core.Summary {
+		cfg := core.QuickConfig()
+		sys, err := cfg.Build()
+		if err != nil {
+			panic(err)
+		}
+		return core.Measure(sys, cycles/4, cycles)
+	}
+	if a, b := run(), run(); a != b {
+		return fmt.Errorf("two identical runs produced different results")
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Compression-Aware
+// and Performance-Efficient Insertion Policies for Long-Lasting Hybrid
+// LLCs" (HPCA 2023): a hybrid NVM-SRAM last-level cache simulator with
+// BDI compression, byte-level fault tolerance, wear forecasting, and the
+// paper's full insertion-policy suite (BH, BH_CP, CA, CA_RWR, CP_SD,
+// CP_SD_Th, LHybrid, TAP).
+//
+// The library lives under internal/; see README.md for the package map,
+// examples/ for runnable entry points, cmd/ for the experiment tools, and
+// bench_test.go in this directory for the one-bench-per-figure harness.
+package repro

@@ -1,0 +1,49 @@
+// Lifetime forecast: run the paper's aging forecast procedure on one
+// policy and print the capacity/performance trajectory until the NVM part
+// reaches 50% effective capacity — one curve of Fig. 1.
+//
+//	go run ./examples/lifetimeforecast
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/forecast"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.MixID = 0
+	cfg.PolicyName = "CP_SD"
+	// A shorter-lived device keeps the example snappy; the trajectory
+	// shape is endurance-scale-invariant.
+	cfg.EnduranceMean = 1e8
+
+	sys, err := cfg.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fcfg := forecast.DefaultConfig()
+	fcfg.PhaseCycles = 6_000_000
+	fcfg.WarmupCycles = 1_000_000
+	fcfg.CapacityStep = 0.05
+
+	res := forecast.Run(sys, fcfg)
+
+	fmt.Printf("forecast for %s (mix 1, endurance mean %.0g)\n", res.Policy, cfg.EnduranceMean)
+	fmt.Printf("%10s %10s %8s %9s\n", "time", "capacity", "IPC", "hit rate")
+	for _, p := range res.Points {
+		fmt.Printf("%9.2fd %9.1f%% %8.4f %9.4f\n",
+			p.TimeSeconds/86400, p.Capacity*100, p.MeanIPC, p.HitRate)
+	}
+	if math.IsInf(res.LifetimeSeconds, 1) {
+		fmt.Println("lifetime: beyond forecast horizon")
+	} else {
+		fmt.Printf("lifetime to 50%% capacity: %.1f days (%.2f months)\n",
+			res.LifetimeSeconds/86400, res.LifetimeMonths())
+	}
+}

@@ -1,0 +1,48 @@
+// Policy comparison: run every insertion policy of Table III (plus the CA
+// and CA_RWR intermediates) on the same workload mix and print their hit
+// rate, IPC and NVM write traffic side by side — the young-cache operating
+// point of Fig. 10a.
+//
+//	go run ./examples/policycompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	const (
+		warmup  = 2_000_000
+		measure = 8_000_000
+	)
+	policies := []string{"SRAM16", "BH", "BH_CP", "LHybrid", "TAP", "CA", "CA_RWR", "CP_SD", "CP_SD_Th", "SRAM4"}
+
+	fmt.Println("policy comparison on mix 4 (young cache, 100% NVM capacity)")
+	fmt.Printf("%-10s %8s %9s %12s %12s\n", "policy", "IPC", "hit rate", "NVM writes", "NVM bytes")
+
+	var bhBytes uint64
+	for _, name := range policies {
+		cfg := core.DefaultConfig()
+		cfg.MixID = 3
+		cfg.PolicyName = name
+		cfg.CPth = 58 // fixed threshold for CA / CA_RWR
+		cfg.Th = 4    // CP_SD_Th4
+		sys, err := cfg.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := core.Measure(sys, warmup, measure)
+		fmt.Printf("%-10s %8.4f %9.4f %12d %12d", s.Policy, s.MeanIPC, s.HitRate,
+			s.NVMBlockWrites, s.NVMBytesWritten)
+		if name == "BH" {
+			bhBytes = s.NVMBytesWritten
+		}
+		if bhBytes > 0 && s.NVMBytesWritten > 0 && name != "BH" {
+			fmt.Printf("  (%.1f%% of BH)", 100*float64(s.NVMBytesWritten)/float64(bhBytes))
+		}
+		fmt.Println()
+	}
+}

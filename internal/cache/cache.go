@@ -1,0 +1,199 @@
+// Package cache provides generic set-associative cache structures with LRU
+// replacement. The private L1 and L2 levels of the simulated hierarchy are
+// instances of Cache; the hybrid LLC builds its own structure on top of the
+// same LRU bookkeeping because its ways are heterogeneous.
+package cache
+
+import "fmt"
+
+// Line is one cache line's bookkeeping state. Data contents are not stored
+// at the private levels; the hierarchy keeps authoritative block contents
+// in its memory model.
+type Line struct {
+	Valid bool
+	Dirty bool
+	// Flags carries policy metadata that must travel with the block, e.g.
+	// the LHybrid loop-block tag or the TAP hit counter.
+	Flags uint8
+	Block uint64 // block address (byte address >> 6)
+	last  uint64 // LRU timestamp
+}
+
+// Cache is a set-associative, write-back cache with true LRU replacement.
+type Cache struct {
+	sets, ways int
+	lines      []Line // sets*ways, set-major
+	tick       uint64
+
+	// Statistics.
+	Hits, Misses, Evictions, DirtyEvictions uint64
+}
+
+// New returns a cache with the given geometry. sizeBytes = sets*ways*64.
+func New(sets, ways int) *Cache {
+	if sets <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("cache: invalid geometry %dx%d", sets, ways))
+	}
+	return &Cache{sets: sets, ways: ways, lines: make([]Line, sets*ways)}
+}
+
+// NewBySize returns a cache of sizeBytes bytes with the given
+// associativity and 64-byte lines.
+func NewBySize(sizeBytes, ways int) *Cache {
+	sets := sizeBytes / (ways * 64)
+	if sets == 0 {
+		sets = 1
+	}
+	return New(sets, ways)
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SetOf returns the set index for a block address.
+func (c *Cache) SetOf(block uint64) int { return int(block % uint64(c.sets)) }
+
+// line returns the line at (set, way).
+func (c *Cache) line(set, way int) *Line { return &c.lines[set*c.ways+way] }
+
+// Line exposes the line at (set, way) for policy inspection.
+func (c *Cache) Line(set, way int) *Line { return c.line(set, way) }
+
+// Lookup finds block and returns its way. It does not update LRU state or
+// statistics; use Access for the common path.
+func (c *Cache) Lookup(block uint64) (way int, ok bool) {
+	set := c.SetOf(block)
+	for w := 0; w < c.ways; w++ {
+		if l := c.line(set, w); l.Valid && l.Block == block {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+// Touch marks (set, way) as most recently used.
+func (c *Cache) Touch(set, way int) {
+	c.tick++
+	c.line(set, way).last = c.tick
+}
+
+// Access looks up block, updating hit/miss statistics and LRU order on a
+// hit. isWrite marks the line dirty on hit. It returns the hit line (nil on
+// miss).
+func (c *Cache) Access(block uint64, isWrite bool) *Line {
+	set := c.SetOf(block)
+	for w := 0; w < c.ways; w++ {
+		l := c.line(set, w)
+		if l.Valid && l.Block == block {
+			c.Hits++
+			c.Touch(set, w)
+			if isWrite {
+				l.Dirty = true
+			}
+			return l
+		}
+	}
+	c.Misses++
+	return nil
+}
+
+// VictimWay returns the way to replace in set: an invalid way if one
+// exists, otherwise the LRU way.
+func (c *Cache) VictimWay(set int) int {
+	lru, lruTick := 0, ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		l := c.line(set, w)
+		if !l.Valid {
+			return w
+		}
+		if l.last < lruTick {
+			lru, lruTick = w, l.last
+		}
+	}
+	return lru
+}
+
+// Insert fills block into its set, evicting the LRU line if needed.
+// It returns the evicted line's previous contents (evicted.Valid reports
+// whether a real eviction happened). The new line starts clean with the
+// given flags and is made MRU.
+func (c *Cache) Insert(block uint64, dirty bool, flags uint8) (evicted Line) {
+	set := c.SetOf(block)
+	w := c.VictimWay(set)
+	l := c.line(set, w)
+	evicted = *l
+	if evicted.Valid {
+		c.Evictions++
+		if evicted.Dirty {
+			c.DirtyEvictions++
+		}
+	}
+	l.Valid = true
+	l.Dirty = dirty
+	l.Flags = flags
+	l.Block = block
+	c.Touch(set, w)
+	return evicted
+}
+
+// Invalidate removes block from the cache, returning its prior state.
+func (c *Cache) Invalidate(block uint64) (old Line, ok bool) {
+	set := c.SetOf(block)
+	for w := 0; w < c.ways; w++ {
+		l := c.line(set, w)
+		if l.Valid && l.Block == block {
+			old = *l
+			l.Valid = false
+			l.Dirty = false
+			l.Flags = 0
+			return old, true
+		}
+	}
+	return Line{}, false
+}
+
+// LRUOrder returns the ways of set ordered from MRU to LRU, considering
+// only valid lines. Policies that migrate "the most recent X" use this.
+func (c *Cache) LRUOrder(set int) []int {
+	ways := make([]int, 0, c.ways)
+	for w := 0; w < c.ways; w++ {
+		if c.line(set, w).Valid {
+			ways = append(ways, w)
+		}
+	}
+	// Insertion sort by descending timestamp; associativity is small.
+	for i := 1; i < len(ways); i++ {
+		for j := i; j > 0 && c.line(set, ways[j]).last > c.line(set, ways[j-1]).last; j-- {
+			ways[j], ways[j-1] = ways[j-1], ways[j]
+		}
+	}
+	return ways
+}
+
+// Occupancy returns the number of valid lines in set.
+func (c *Cache) Occupancy(set int) int {
+	n := 0
+	for w := 0; w < c.ways; w++ {
+		if c.line(set, w).Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// HitRate returns hits/(hits+misses), 0 when no accesses happened.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// ResetStats clears the statistics counters without touching contents.
+func (c *Cache) ResetStats() {
+	c.Hits, c.Misses, c.Evictions, c.DirtyEvictions = 0, 0, 0, 0
+}

@@ -1,0 +1,67 @@
+// Package cliutil holds small helpers shared by the command-line tools:
+// mix-list parsing and policy-curve selection.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// ParseMixes converts a CLI mix selector — "all" or a comma-separated list
+// of 1-based mix numbers — into 0-based mix indices.
+func ParseMixes(arg string) ([]int, error) {
+	if arg == "all" {
+		return core.AllMixes(), nil
+	}
+	var out []int
+	for _, tok := range strings.Split(arg, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 || v > 10 {
+			return nil, fmt.Errorf("bad mix %q (want 1-10 or \"all\")", tok)
+		}
+		out = append(out, v-1)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty mix list")
+	}
+	return out, nil
+}
+
+// SelectForecastSpecs resolves a curve selector: "standard", "core", or a
+// comma-separated list of curve labels from the standard set.
+func SelectForecastSpecs(arg string) ([]experiments.ForecastSpec, error) {
+	switch arg {
+	case "standard":
+		return experiments.StandardForecastSpecs(), nil
+	case "core":
+		return experiments.CoreForecastSpecs(), nil
+	}
+	all := experiments.StandardForecastSpecs()
+	var out []experiments.ForecastSpec
+	for _, want := range strings.Split(arg, ",") {
+		want = strings.TrimSpace(want)
+		found := false
+		for _, s := range all {
+			if s.Label == want {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			labels := make([]string, len(all))
+			for i, s := range all {
+				labels[i] = s.Label
+			}
+			return nil, fmt.Errorf("unknown curve %q (valid: %s)", want, strings.Join(labels, ", "))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty curve list")
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package cliutil
+
+import (
+	"testing"
+)
+
+func TestParseMixesAll(t *testing.T) {
+	mixes, err := ParseMixes("all")
+	if err != nil || len(mixes) != 10 || mixes[0] != 0 || mixes[9] != 9 {
+		t.Fatalf("mixes=%v err=%v", mixes, err)
+	}
+}
+
+func TestParseMixesList(t *testing.T) {
+	mixes, err := ParseMixes("1, 4,10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 3, 9}
+	for i, v := range want {
+		if mixes[i] != v {
+			t.Fatalf("mixes=%v, want %v", mixes, want)
+		}
+	}
+}
+
+func TestParseMixesErrors(t *testing.T) {
+	for _, bad := range []string{"0", "11", "x", "", "1,,2"} {
+		if _, err := ParseMixes(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestSelectForecastSpecs(t *testing.T) {
+	std, err := SelectForecastSpecs("standard")
+	if err != nil || len(std) != 9 {
+		t.Fatalf("standard: %d specs, err=%v", len(std), err)
+	}
+	cr, err := SelectForecastSpecs("core")
+	if err != nil || len(cr) != 4 {
+		t.Fatalf("core: %d specs, err=%v", len(cr), err)
+	}
+	list, err := SelectForecastSpecs("BH, CP_SD")
+	if err != nil || len(list) != 2 || list[0].Label != "BH" || list[1].Label != "CP_SD" {
+		t.Fatalf("list: %v err=%v", list, err)
+	}
+	if _, err := SelectForecastSpecs("NOPE"); err == nil {
+		t.Error("unknown curve accepted")
+	}
+}

@@ -1,0 +1,338 @@
+// Package core is the public orchestration layer of the reproduction: it
+// turns a declarative Config — mix, policy name, geometry, endurance,
+// latency factors — into a runnable simulated system, and provides the
+// helpers shared by the command-line tools, the examples and the benchmark
+// harness (pre-aging, windowed runs, policy registry).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dueling"
+	"repro/internal/forecast"
+	"repro/internal/hier"
+	"repro/internal/hybrid"
+	"repro/internal/nvm"
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config declares one simulated machine + workload + policy. The zero
+// value is not usable; start from DefaultConfig.
+type Config struct {
+	// Workload.
+	MixID int     // Table V mix, 0-based (0..9)
+	Seed  uint64  // workload and endurance sampling seed
+	Scale float64 // footprint scale relative to the scaled-down default
+
+	// LLC geometry (Table IV: 4 SRAM + 12 NVM ways).
+	LLCSets  int
+	SRAMWays int
+	NVMWays  int
+
+	// Private levels.
+	L1Sets, L1Ways int
+	L2SizeKB       int // 128 default; §V-E uses 256
+	L2Ways         int
+
+	// Policy selection; see Policies() for valid names.
+	PolicyName string
+	CPth       int     // fixed threshold for CA / CA_RWR
+	Th, Tw     float64 // CP_SD_Th rule parameters (§IV-D)
+
+	// NVM device model.
+	EnduranceMean float64
+	EnduranceCV   float64
+
+	// Timing.
+	EpochCycles      uint64
+	NVMLatencyFactor float64 // scales the NVM data-array latency (§V-F)
+
+	// Ablations of individual design choices (bench_test.go's ablation
+	// benches quantify each against the full design).
+	AblationHCROnly      bool // original BDI: discard LCR encodings
+	AblationNoInvalidate bool // keep the LLC copy on GetX hits
+	AblationNoMigration  bool // drop read-reused SRAM victims
+
+	// MaterializeData runs the bit-exact Fig-5 NVM data path for every
+	// block (validation mode, ~10x slower; compressing policies only).
+	MaterializeData bool
+
+	// EnablePrefetcher turns on the per-core L2 stride prefetcher
+	// (degree PrefetchDegree, default 1), restoring TAP's demand/prefetch
+	// block classes.
+	EnablePrefetcher bool
+	PrefetchDegree   int
+
+	// NVMRRIP switches the NVM-part replacement from the paper's fit-LRU
+	// to fit-RRIP (SRRIP) — an extension for scan-resistant victim
+	// selection.
+	NVMRRIP bool
+
+	// LLCBanks is the number of address-interleaved LLC banks whose
+	// data-array occupancy is modelled (Table IV: 4). 0 disables bank
+	// contention.
+	LLCBanks int
+}
+
+// DefaultConfig returns the scaled default system: 1 MB 16-way LLC
+// (4 SRAM + 12 NVM ways), 128 KB L2, CP_SD policy, mix 0.
+func DefaultConfig() Config {
+	return Config{
+		MixID:            0,
+		Seed:             1,
+		Scale:            0.25,
+		LLCSets:          1024,
+		SRAMWays:         4,
+		NVMWays:          12,
+		L1Sets:           128,
+		L1Ways:           4,
+		L2SizeKB:         128,
+		L2Ways:           16,
+		PolicyName:       "CP_SD",
+		CPth:             58,
+		Th:               0,
+		Tw:               5,
+		EnduranceMean:    1e10,
+		EnduranceCV:      0.2,
+		EpochCycles:      2_000_000,
+		NVMLatencyFactor: 1.0,
+		LLCBanks:         4,
+	}
+}
+
+// QuickConfig returns a smaller configuration suitable for tests and the
+// benchmark harness: 256-set LLC, proportionally smaller footprints and
+// L2, shorter epochs. Working sets still overflow the LLC so policies
+// remain differentiated.
+func QuickConfig() Config {
+	c := DefaultConfig()
+	c.LLCSets = 256
+	c.Scale = 0.15
+	c.L2SizeKB = 64
+	c.EpochCycles = 500_000
+	return c
+}
+
+// Policies lists the selectable policy names in presentation order.
+func Policies() []string {
+	return []string{"SRAM16", "SRAM4", "BH", "BH_CP", "CA", "CA_RWR", "CP_SD", "CP_SD_Th", "LHybrid", "TAP"}
+}
+
+// buildPolicy resolves the policy name into a policy value, a threshold
+// provider (nil when not applicable) and the LLC way split.
+func (c Config) buildPolicy() (hybrid.Policy, hybrid.ThresholdProvider, int, int, error) {
+	sram, nvmW := c.SRAMWays, c.NVMWays
+	switch c.PolicyName {
+	case "SRAM16":
+		return policy.SRAMOnly{}, nil, sram + nvmW, 0, nil
+	case "SRAM4":
+		return policy.SRAMOnly{}, nil, sram, 0, nil
+	case "BH":
+		return policy.BH{}, nil, sram, nvmW, nil
+	case "BH_CP":
+		return policy.BHCP{}, nil, sram, nvmW, nil
+	case "CA":
+		return policy.CA{}, hybrid.FixedThreshold(c.CPth), sram, nvmW, nil
+	case "CA_RWR":
+		return policy.CARWR{NoMigration: c.AblationNoMigration},
+			hybrid.FixedThreshold(c.CPth), sram, nvmW, nil
+	case "CP_SD":
+		return policy.CARWR{PolicyName: "CP_SD", NoMigration: c.AblationNoMigration},
+			dueling.New(c.LLCSets, 0, 0), sram, nvmW, nil
+	case "CP_SD_Th":
+		name := fmt.Sprintf("CP_SD_Th%g", c.Th)
+		return policy.CARWR{PolicyName: name, NoMigration: c.AblationNoMigration},
+			dueling.New(c.LLCSets, c.Th, c.Tw), sram, nvmW, nil
+	case "LHybrid":
+		return policy.LHybrid{}, nil, sram, nvmW, nil
+	case "TAP":
+		return policy.TAP{HThresh: 1}, nil, sram, nvmW, nil
+	default:
+		return nil, nil, 0, 0, fmt.Errorf("core: unknown policy %q (valid: %v)", c.PolicyName, Policies())
+	}
+}
+
+// Latencies derives the hierarchy latencies from the config, applying the
+// NVM latency factor to the NVM data-array portion (8 cycles of the
+// 32-cycle load-use delay, Table IV).
+func (c Config) Latencies() hier.Latencies {
+	lat := hier.DefaultLatencies()
+	f := c.NVMLatencyFactor
+	if f <= 0 {
+		f = 1
+	}
+	base := lat.LLCNVM - 8 // tag + routing portion
+	lat.LLCNVM = base + int(math.Round(8*f))
+	return lat
+}
+
+// Build constructs the simulated system described by the config.
+func (c Config) Build() (*hier.System, error) {
+	if c.Scale <= 0 {
+		return nil, fmt.Errorf("core: non-positive scale %v", c.Scale)
+	}
+	pol, thr, sram, nvmW, err := c.buildPolicy()
+	if err != nil {
+		return nil, err
+	}
+	apps, err := workload.NewMix(c.MixID, c.Seed, c.Scale)
+	if err != nil {
+		return nil, err
+	}
+	llc := hybrid.New(hybrid.Config{
+		Sets:             c.LLCSets,
+		SRAMWays:         sram,
+		NVMWays:          nvmW,
+		Policy:           pol,
+		Thresholds:       thr,
+		Endurance:        nvm.EnduranceModel{Mean: c.EnduranceMean, CV: c.EnduranceCV},
+		Sampler:          stats.NewRNG(c.Seed ^ 0xE7D5),
+		HCROnly:          c.AblationHCROnly,
+		NoGetXInvalidate: c.AblationNoInvalidate,
+		MaterializeData:  c.MaterializeData,
+		NVMReplacement:   replacementOf(c.NVMRRIP),
+	})
+	hcfg := hier.Config{
+		L1Sets: c.L1Sets, L1Ways: c.L1Ways,
+		L2Sets: c.L2SizeKB * 1024 / (c.L2Ways * 64), L2Ways: c.L2Ways,
+		EpochCycles:    c.EpochCycles,
+		IssueWidth:     4,
+		Lat:            c.Latencies(),
+		Prefetch:       c.EnablePrefetcher,
+		PrefetchDegree: c.PrefetchDegree,
+		Banks:          c.LLCBanks,
+	}
+	return hier.New(hcfg, llc, apps), nil
+}
+
+func replacementOf(rrip bool) hybrid.Replacement {
+	if rrip {
+		return hybrid.FitRRIP
+	}
+	return hybrid.FitLRU
+}
+
+// Dueling returns the system's dueling controller, if its policy uses one.
+func Dueling(sys *hier.System) (*dueling.Controller, bool) {
+	d, ok := sys.LLC().Thresholds().(*dueling.Controller)
+	return d, ok
+}
+
+// PreAge wears the system's NVM array uniformly until its effective
+// capacity reaches the target fraction, then drops LLC entries whose
+// frames can no longer hold them. It reproduces the paper's aged-cache
+// operating points (Fig 8a, Fig 9: 100/90/80% capacities).
+func PreAge(sys *hier.System, targetCapacity float64) {
+	arr := sys.LLC().Array()
+	if arr == nil || targetCapacity >= 1 {
+		return
+	}
+	for _, f := range arr.Frames() {
+		f.ResetPhase()
+		f.RecordWrite(nvm.FrameBytes) // uniform unit rate
+	}
+	forecast.Age(arr, 1.0, targetCapacity, math.MaxFloat64)
+	arr.ResetPhase()
+	sys.LLC().InvalidateUnfit()
+}
+
+// Summary condenses one measured run window.
+type Summary struct {
+	Policy          string
+	MeanIPC         float64
+	HitRate         float64
+	Hits            uint64
+	Misses          uint64
+	NVMBytesWritten uint64
+	NVMBlockWrites  uint64
+	SRAMHits        uint64
+	NVMHits         uint64
+	Inserts         uint64
+	Migrations      uint64
+	Capacity        float64
+}
+
+// Measure warms the system up and measures a window, returning a summary.
+func Measure(sys *hier.System, warmupCycles, measureCycles uint64) Summary {
+	sys.Run(warmupCycles)
+	r := sys.Run(measureCycles)
+	return Summary{
+		Policy:          sys.LLC().Policy().Name(),
+		MeanIPC:         r.MeanIPC,
+		HitRate:         r.LLC.HitRate(),
+		Hits:            r.LLC.Hits,
+		Misses:          r.LLC.Misses,
+		NVMBytesWritten: r.LLC.NVMBytesWritten,
+		NVMBlockWrites:  r.LLC.NVMBlockWrites,
+		SRAMHits:        r.LLC.SRAMHits,
+		NVMHits:         r.LLC.NVMHits,
+		Inserts:         r.LLC.Inserts,
+		Migrations:      r.LLC.Migrations,
+		Capacity:        sys.LLC().EffectiveCapacityFraction(),
+	}
+}
+
+// MeasureMixes runs the same config across several mixes and returns the
+// per-mix summaries plus the across-mix means of IPC, hit rate and NVM
+// bytes (the paper averages its ten multiprogrammed mixes).
+func MeasureMixes(base Config, mixes []int, warmup, measure uint64) ([]Summary, Summary, error) {
+	if len(mixes) == 0 {
+		return nil, Summary{}, fmt.Errorf("core: no mixes")
+	}
+	out := make([]Summary, 0, len(mixes))
+	var mean Summary
+	for _, m := range mixes {
+		cfg := base
+		cfg.MixID = m
+		sys, err := cfg.Build()
+		if err != nil {
+			return nil, Summary{}, err
+		}
+		s := Measure(sys, warmup, measure)
+		out = append(out, s)
+		mean.MeanIPC += s.MeanIPC
+		mean.HitRate += s.HitRate
+		mean.Hits += s.Hits
+		mean.Misses += s.Misses
+		mean.NVMBytesWritten += s.NVMBytesWritten
+		mean.NVMBlockWrites += s.NVMBlockWrites
+	}
+	n := float64(len(mixes))
+	mean.Policy = out[0].Policy
+	mean.MeanIPC /= n
+	mean.HitRate /= n
+	mean.Hits = uint64(float64(mean.Hits) / n)
+	mean.Misses = uint64(float64(mean.Misses) / n)
+	mean.NVMBytesWritten = uint64(float64(mean.NVMBytesWritten) / n)
+	mean.NVMBlockWrites = uint64(float64(mean.NVMBlockWrites) / n)
+	return out, mean, nil
+}
+
+// AllMixes returns [0..9], the full Table V workload set.
+func AllMixes() []int {
+	out := make([]int, len(workload.Mixes()))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// SortedPolicyNames returns the policy registry sorted alphabetically
+// (diagnostic helper for CLIs).
+func SortedPolicyNames() []string {
+	ps := Policies()
+	sort.Strings(ps)
+	return ps
+}
+
+// BuildPolicy resolves the config's policy selection into the policy
+// value, its threshold provider (nil when not applicable) and the
+// SRAM/NVM way split. Exported for experiment code that assembles custom
+// systems (e.g. homogeneous per-application studies).
+func BuildPolicy(c Config) (hybrid.Policy, hybrid.ThresholdProvider, int, int, error) {
+	return c.buildPolicy()
+}

@@ -1,0 +1,177 @@
+// Package dueling implements the paper's Set Dueling mechanism for
+// selecting the compression threshold CPth at runtime (§IV-C) and the
+// rule-based CP_SD_Th variant that also weighs NVM write traffic (§IV-D).
+//
+// A fixed share of the cache sets is partitioned into sampler groups, one
+// per candidate CPth value; every candidate is tested on N/32 sets. The
+// remaining (follower) sets use the threshold of the group that performed
+// best in the previous epoch. Each sampler group accumulates its number of
+// LLC hits and NVM bytes written; at every epoch boundary the winner is
+// recomputed.
+package dueling
+
+import "fmt"
+
+// DefaultCandidates are the CPth values duelled in the paper's evaluation,
+// spanning 30 to 64 (§IV-C). 58 admits every compressed block into NVM;
+// 64 admits uncompressed blocks too.
+var DefaultCandidates = []int{30, 34, 37, 40, 44, 48, 51, 55, 58, 64}
+
+// GroupDivisor is the number of equal set classes the cache is divided
+// into; each candidate occupies one class (N/32 sets, as in the paper).
+const GroupDivisor = 32
+
+// Controller implements hybrid.ThresholdProvider with set dueling.
+type Controller struct {
+	candidates []int
+	group      []int16 // per set: candidate index, or -1 for followers
+	hits       []uint64
+	bytes      []uint64
+	winner     int // candidate index used by follower sets
+
+	// Th is the maximum percentage of hits the rule may sacrifice; Tw is
+	// the minimum percentage of NVM bytes-written reduction required to
+	// accept that sacrifice (Eq. 1). Th = 0 disables the rule (plain
+	// CP_SD).
+	Th, Tw float64
+
+	// History records the winning CPth of every closed epoch.
+	History []int
+
+	// RecordPerEpoch, when set before the run, keeps per-epoch copies of
+	// each candidate's hit and byte counters (for Fig 8-style analyses).
+	RecordPerEpoch bool
+	EpochHits      [][]uint64
+	EpochBytes     [][]uint64
+}
+
+// New builds a controller for a cache with the given number of sets using
+// DefaultCandidates and thresholds th/tw (both 0 for plain CP_SD).
+func New(sets int, th, tw float64) *Controller {
+	return NewWithCandidates(sets, DefaultCandidates, th, tw)
+}
+
+// NewWithCandidates builds a controller with an explicit candidate list.
+// Candidates must be in ascending order; the number of candidates must not
+// exceed GroupDivisor.
+func NewWithCandidates(sets int, candidates []int, th, tw float64) *Controller {
+	if len(candidates) == 0 || len(candidates) > GroupDivisor {
+		panic(fmt.Sprintf("dueling: %d candidates, want 1..%d", len(candidates), GroupDivisor))
+	}
+	for i := 1; i < len(candidates); i++ {
+		if candidates[i] <= candidates[i-1] {
+			panic("dueling: candidates must be strictly ascending")
+		}
+	}
+	c := &Controller{
+		candidates: append([]int(nil), candidates...),
+		group:      make([]int16, sets),
+		hits:       make([]uint64, len(candidates)),
+		bytes:      make([]uint64, len(candidates)),
+		winner:     len(candidates) - 1, // start permissive (highest CPth)
+		Th:         th,
+		Tw:         tw,
+	}
+	for s := range c.group {
+		g := s % GroupDivisor
+		if g < len(candidates) {
+			c.group[s] = int16(g)
+		} else {
+			c.group[s] = -1
+		}
+	}
+	return c
+}
+
+// Candidates returns the candidate CPth values.
+func (c *Controller) Candidates() []int { return c.candidates }
+
+// Winner returns the CPth currently used by follower sets.
+func (c *Controller) Winner() int { return c.candidates[c.winner] }
+
+// IsSampler reports whether set is a sampler set and for which candidate.
+func (c *Controller) IsSampler(set int) (candidate int, ok bool) {
+	g := c.group[set]
+	if g < 0 {
+		return 0, false
+	}
+	return int(g), true
+}
+
+// CPthFor implements hybrid.ThresholdProvider.
+func (c *Controller) CPthFor(set int) int {
+	if g := c.group[set]; g >= 0 {
+		return c.candidates[g]
+	}
+	return c.candidates[c.winner]
+}
+
+// RecordHit implements hybrid.ThresholdProvider.
+func (c *Controller) RecordHit(set int) {
+	if g := c.group[set]; g >= 0 {
+		c.hits[g]++
+	}
+}
+
+// RecordNVMBytes implements hybrid.ThresholdProvider.
+func (c *Controller) RecordNVMBytes(set int, n int) {
+	if g := c.group[set]; g >= 0 {
+		c.bytes[g] += uint64(n)
+	}
+}
+
+// EndEpoch implements hybrid.ThresholdProvider: it applies the selection
+// rule of §IV-C/§IV-D and resets the epoch counters.
+//
+// Plain CP_SD picks the candidate with the most hits. CP_SD_Th then looks
+// for the smallest CPth value j satisfying Eq. (1):
+//
+//	H(j) > H(i)*(1 - Th/100)  and  W(j) < W(i)*(1 - Tw/100)
+//
+// where i is the plain winner.
+func (c *Controller) EndEpoch() {
+	best := 0
+	for k := 1; k < len(c.candidates); k++ {
+		if c.hits[k] > c.hits[best] {
+			best = k
+		}
+	}
+	sel := best
+	if c.Th > 0 {
+		hFloor := float64(c.hits[best]) * (1 - c.Th/100)
+		wCeil := float64(c.bytes[best]) * (1 - c.Tw/100)
+		for j := 0; j < len(c.candidates); j++ {
+			if float64(c.hits[j]) > hFloor && float64(c.bytes[j]) < wCeil {
+				sel = j
+				break
+			}
+		}
+	}
+	c.winner = sel
+	c.History = append(c.History, c.candidates[sel])
+	if c.RecordPerEpoch {
+		c.EpochHits = append(c.EpochHits, append([]uint64(nil), c.hits...))
+		c.EpochBytes = append(c.EpochBytes, append([]uint64(nil), c.bytes...))
+	}
+	for k := range c.hits {
+		c.hits[k] = 0
+		c.bytes[k] = 0
+	}
+}
+
+// EpochCounters returns the current (open) epoch's per-candidate hit and
+// byte counters, for tests and diagnostics.
+func (c *Controller) EpochCounters() (hits, bytes []uint64) {
+	return append([]uint64(nil), c.hits...), append([]uint64(nil), c.bytes...)
+}
+
+// SamplerSets returns how many sets sample candidate k.
+func (c *Controller) SamplerSets(k int) int {
+	n := 0
+	for _, g := range c.group {
+		if int(g) == k {
+			n++
+		}
+	}
+	return n
+}

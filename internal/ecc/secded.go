@@ -1,0 +1,205 @@
+// Package ecc implements Hamming single-error-correcting,
+// double-error-detecting (SECDED) codes. The paper's hybrid LLC protects
+// the NVM data array with the (527, 516) code: 516 data bits (512 block
+// bits + 4-bit compression-encoding field), 10 Hamming check bits and one
+// overall parity bit (§III-B). The implementation is generic over the data
+// length so the tag array and fault map protection can reuse it.
+package ecc
+
+import "fmt"
+
+// Status is the outcome of decoding a SECDED codeword.
+type Status uint8
+
+// Decode outcomes.
+const (
+	// OK means no error was detected.
+	OK Status = iota
+	// Corrected means a single-bit error was detected and corrected; the
+	// returned data is valid. In the LLC this event marks the failing
+	// bitcell's byte as worn out in the fault map.
+	Corrected
+	// Detected means a double-bit error was detected but not corrected;
+	// the data is not trustworthy. In the LLC this disables the frame.
+	Detected
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Code is a SECDED code for a fixed number of data bits.
+type Code struct {
+	dataBits  int
+	checkBits int // Hamming check bits, excluding overall parity
+}
+
+// New returns a SECDED code for dataBits data bits. Total codeword length
+// is dataBits + CheckBits() + 1 (overall parity).
+func New(dataBits int) *Code {
+	if dataBits <= 0 {
+		panic("ecc: non-positive data length")
+	}
+	r := 0
+	for (1 << uint(r)) < dataBits+r+1 {
+		r++
+	}
+	return &Code{dataBits: dataBits, checkBits: r}
+}
+
+// NVMData is the code used for NVM LLC frames: (527, 516).
+func NVMData() *Code { return New(516) }
+
+// DataBits returns the number of protected data bits.
+func (c *Code) DataBits() int { return c.dataBits }
+
+// CheckBits returns the number of Hamming check bits (excluding the overall
+// parity bit).
+func (c *Code) CheckBits() int { return c.checkBits }
+
+// CodewordBits returns the total codeword length in bits, including the
+// overall parity bit.
+func (c *Code) CodewordBits() int { return c.dataBits + c.checkBits + 1 }
+
+// Codeword is a bit vector holding an encoded word. Bit i is stored in
+// Bits[i/8] at position i%8.
+type Codeword struct {
+	Bits []byte
+	n    int
+}
+
+// Bit returns bit i.
+func (w *Codeword) Bit(i int) int { return int(w.Bits[i/8]>>(uint(i)%8)) & 1 }
+
+// FlipBit inverts bit i; used by fault-injection tests and the NVM wear
+// model to emulate a failed bitcell.
+func (w *Codeword) FlipBit(i int) { w.Bits[i/8] ^= 1 << (uint(i) % 8) }
+
+// Len returns the number of valid bits in the codeword.
+func (w *Codeword) Len() int { return w.n }
+
+func newCodeword(n int) *Codeword {
+	return &Codeword{Bits: make([]byte, (n+7)/8), n: n}
+}
+
+func (w *Codeword) setBit(i, v int) {
+	if v != 0 {
+		w.Bits[i/8] |= 1 << (uint(i) % 8)
+	} else {
+		w.Bits[i/8] &^= 1 << (uint(i) % 8)
+	}
+}
+
+// Encode produces the SECDED codeword for data. The data is given as a byte
+// slice holding DataBits bits (LSB-first within each byte); surplus bits in
+// the last byte must be zero. Layout: Hamming positions 1..m with check
+// bits at power-of-two positions and data elsewhere, plus the overall
+// parity stored at index 0.
+func (c *Code) Encode(data []byte) *Codeword {
+	if len(data)*8 < c.dataBits {
+		panic(fmt.Sprintf("ecc: need %d data bits, got %d", c.dataBits, len(data)*8))
+	}
+	m := c.dataBits + c.checkBits
+	w := newCodeword(m + 1)
+	// Place data bits at non-power-of-two Hamming positions 1..m.
+	di := 0
+	for pos := 1; pos <= m; pos++ {
+		if isPow2(pos) {
+			continue
+		}
+		bit := int(data[di/8]>>(uint(di)%8)) & 1
+		w.setBit(pos, bit)
+		di++
+	}
+	// Compute check bits: check bit at position 2^k covers positions with
+	// bit k set in their index.
+	for k := 0; (1 << uint(k)) <= m; k++ {
+		p := 0
+		for pos := 1; pos <= m; pos++ {
+			if pos&(1<<uint(k)) != 0 && !isPow2(pos) {
+				p ^= w.Bit(pos)
+			}
+		}
+		w.setBit(1<<uint(k), p)
+	}
+	// Overall parity over positions 1..m, stored at position 0.
+	p := 0
+	for pos := 1; pos <= m; pos++ {
+		p ^= w.Bit(pos)
+	}
+	w.setBit(0, p)
+	return w
+}
+
+// Decode checks and corrects a codeword in place, returning the extracted
+// data bits, the decode status, and for Corrected the flipped codeword bit
+// position (-1 otherwise).
+func (c *Code) Decode(w *Codeword) (data []byte, st Status, pos int) {
+	m := c.dataBits + c.checkBits
+	if w.n != m+1 {
+		panic(fmt.Sprintf("ecc: codeword length %d, want %d", w.n, m+1))
+	}
+	syndrome := 0
+	for k := 0; (1 << uint(k)) <= m; k++ {
+		p := 0
+		for i := 1; i <= m; i++ {
+			if i&(1<<uint(k)) != 0 {
+				p ^= w.Bit(i)
+			}
+		}
+		if p != 0 {
+			syndrome |= 1 << uint(k)
+		}
+	}
+	parity := 0
+	for i := 0; i <= m; i++ {
+		parity ^= w.Bit(i)
+	}
+	pos = -1
+	switch {
+	case syndrome == 0 && parity == 0:
+		st = OK
+	case syndrome == 0 && parity != 0:
+		// Error in the overall parity bit itself.
+		st = Corrected
+		pos = 0
+		w.FlipBit(0)
+	case syndrome != 0 && parity != 0:
+		if syndrome > m {
+			// Syndrome points outside the codeword: uncorrectable.
+			st = Detected
+		} else {
+			st = Corrected
+			pos = syndrome
+			w.FlipBit(syndrome)
+		}
+	default: // syndrome != 0 && parity == 0
+		st = Detected
+	}
+	if st == Detected {
+		return nil, st, -1
+	}
+	data = make([]byte, (c.dataBits+7)/8)
+	di := 0
+	for i := 1; i <= m; i++ {
+		if isPow2(i) {
+			continue
+		}
+		if w.Bit(i) != 0 {
+			data[di/8] |= 1 << (uint(di) % 8)
+		}
+		di++
+	}
+	return data, st, pos
+}
+
+func isPow2(x int) bool { return x&(x-1) == 0 }

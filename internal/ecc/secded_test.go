@@ -1,0 +1,189 @@
+package ecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNVMDataGeometry(t *testing.T) {
+	c := NVMData()
+	if c.DataBits() != 516 {
+		t.Fatalf("data bits = %d, want 516", c.DataBits())
+	}
+	if c.CheckBits() != 10 {
+		t.Fatalf("check bits = %d, want 10", c.CheckBits())
+	}
+	if c.CodewordBits() != 527 {
+		t.Fatalf("codeword bits = %d, want 527 (paper's (527,516))", c.CodewordBits())
+	}
+}
+
+func TestEncodeDecodeClean(t *testing.T) {
+	c := New(32)
+	data := []byte{0xAB, 0xCD, 0x12, 0x34}
+	w := c.Encode(data)
+	got, st, pos := c.Decode(w)
+	if st != OK || pos != -1 {
+		t.Fatalf("clean decode: status=%v pos=%d", st, pos)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("data mismatch: %x != %x", got, data)
+	}
+}
+
+func TestSingleBitCorrection(t *testing.T) {
+	c := New(64)
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for bit := 0; bit < c.CodewordBits(); bit++ {
+		w := c.Encode(data)
+		w.FlipBit(bit)
+		got, st, pos := c.Decode(w)
+		if st != Corrected {
+			t.Fatalf("bit %d: status=%v, want Corrected", bit, st)
+		}
+		if pos != bit {
+			t.Fatalf("bit %d: reported position %d", bit, pos)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("bit %d: data not restored", bit)
+		}
+	}
+}
+
+func TestDoubleBitDetection(t *testing.T) {
+	c := New(64)
+	data := []byte{0xFF, 0, 0xAA, 0x55, 9, 8, 7, 6}
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 500; trial++ {
+		w := c.Encode(data)
+		i := r.Intn(c.CodewordBits())
+		j := r.Intn(c.CodewordBits())
+		for j == i {
+			j = r.Intn(c.CodewordBits())
+		}
+		w.FlipBit(i)
+		w.FlipBit(j)
+		_, st, _ := c.Decode(w)
+		if st != Detected {
+			t.Fatalf("bits %d,%d: status=%v, want Detected", i, j, st)
+		}
+	}
+}
+
+func TestNVMCodeSingleCorrection(t *testing.T) {
+	c := NVMData()
+	data := make([]byte, 65) // 516 bits -> 65 bytes (last 4 bits zero)
+	r := rand.New(rand.NewSource(5))
+	r.Read(data)
+	data[64] &= 0x0F // only 516 valid bits
+	for trial := 0; trial < 100; trial++ {
+		w := c.Encode(data)
+		bit := r.Intn(c.CodewordBits())
+		w.FlipBit(bit)
+		got, st, _ := c.Decode(w)
+		if st != Corrected || !bytes.Equal(got, data) {
+			t.Fatalf("trial %d: bit %d not corrected (status %v)", trial, bit, st)
+		}
+	}
+}
+
+// Property: for arbitrary data, encode/decode with zero or one random error
+// always recovers the data.
+func TestSECDEDProperty(t *testing.T) {
+	c := New(128)
+	f := func(data [16]byte, flip uint16, doFlip bool) bool {
+		d := data[:]
+		w := c.Encode(d)
+		if doFlip {
+			w.FlipBit(int(flip) % c.CodewordBits())
+		}
+		got, st, _ := c.Decode(w)
+		if doFlip && st != Corrected {
+			return false
+		}
+		if !doFlip && st != OK {
+			return false
+		}
+		return bytes.Equal(got, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckBitCount(t *testing.T) {
+	// r must satisfy 2^r >= k + r + 1.
+	for _, k := range []int{1, 4, 8, 11, 26, 57, 64, 120, 247, 502, 516, 1013} {
+		c := New(k)
+		r := c.CheckBits()
+		if (1 << uint(r)) < k+r+1 {
+			t.Errorf("k=%d: r=%d insufficient", k, r)
+		}
+		if r > 0 && (1<<uint(r-1)) >= k+(r-1)+1 {
+			t.Errorf("k=%d: r=%d not minimal", k, r)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" || Detected.String() != "detected" {
+		t.Error("status names wrong")
+	}
+	if Status(9).String() == "" {
+		t.Error("unknown status should render")
+	}
+}
+
+func TestEncodePanicsOnShortData(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode with short data did not panic")
+		}
+	}()
+	New(64).Encode([]byte{1})
+}
+
+func TestDecodePanicsOnWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Decode with wrong-length codeword did not panic")
+		}
+	}()
+	c := New(64)
+	w := newCodeword(10)
+	c.Decode(w)
+}
+
+func TestNewPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func BenchmarkEncode516(b *testing.B) {
+	c := NVMData()
+	data := make([]byte, 65)
+	rand.New(rand.NewSource(1)).Read(data)
+	data[64] &= 0x0F
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Encode(data)
+	}
+}
+
+func BenchmarkDecode516(b *testing.B) {
+	c := NVMData()
+	data := make([]byte, 65)
+	rand.New(rand.NewSource(1)).Read(data)
+	data[64] &= 0x0F
+	w := c.Encode(data)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Decode(w)
+	}
+}

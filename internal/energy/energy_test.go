@@ -1,0 +1,97 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/hybrid"
+	"repro/internal/nvm"
+)
+
+var geo = Geometry{Sets: 1024, SRAMWays: 4, NVMWays: 12}
+
+func TestGeometrySizes(t *testing.T) {
+	if geo.SRAMBytes() != 1024*4*64 {
+		t.Fatalf("SRAM bytes %v", geo.SRAMBytes())
+	}
+	if geo.NVMBytes() != 1024*12*nvm.FrameBytes {
+		t.Fatalf("NVM bytes %v", geo.NVMBytes())
+	}
+}
+
+func TestWindowZeroStats(t *testing.T) {
+	b := Default().Window(hybrid.Stats{}, 0, geo)
+	if b.Total() != 0 {
+		t.Fatalf("zero window has energy %v", b.Total())
+	}
+}
+
+func TestDynamicCharges(t *testing.T) {
+	m := Default()
+	st := hybrid.Stats{
+		GetS: 100, GetX: 20, Hits: 80, Misses: 40,
+		SRAMHits: 50, NVMHits: 30,
+		Inserts: 40, SRAMInserts: 25, NVMInserts: 15,
+		NVMBytesWritten: 15 * 40,
+	}
+	b := m.Window(st, 0, geo)
+	wantSRAM := (50*m.SRAMRead + 25*m.SRAMWrite) * 1e-6
+	if math.Abs(b.SRAMDynamic-wantSRAM) > 1e-15 {
+		t.Errorf("SRAM dynamic %v, want %v", b.SRAMDynamic, wantSRAM)
+	}
+	wantNVM := (30*m.NVMRead + 600*m.NVMWriteB) * 1e-6
+	if math.Abs(b.NVMDynamic-wantNVM) > 1e-15 {
+		t.Errorf("NVM dynamic %v, want %v", b.NVMDynamic, wantNVM)
+	}
+	wantTag := 160 * m.TagAccess * 1e-6
+	if math.Abs(b.TagDynamic-wantTag) > 1e-15 {
+		t.Errorf("tag dynamic %v, want %v", b.TagDynamic, wantTag)
+	}
+	if b.SRAMLeak != 0 || b.NVMLeak != 0 {
+		t.Error("leakage with zero cycles should be zero")
+	}
+}
+
+func TestLeakageScalesWithTimeAndSize(t *testing.T) {
+	m := Default()
+	b1 := m.Window(hybrid.Stats{}, 3_500_000, geo) // 1 ms
+	b2 := m.Window(hybrid.Stats{}, 7_000_000, geo) // 2 ms
+	if math.Abs(b2.SRAMLeak-2*b1.SRAMLeak) > 1e-12 {
+		t.Error("SRAM leakage not linear in time")
+	}
+	// SRAM leaks far more per byte than NVM: with 4 SRAM vs 12 NVM ways,
+	// SRAM leakage still dominates.
+	if b1.SRAMLeak <= b1.NVMLeak {
+		t.Errorf("SRAM leak %v should exceed NVM leak %v", b1.SRAMLeak, b1.NVMLeak)
+	}
+}
+
+func TestCompressionSavesWriteEnergy(t *testing.T) {
+	m := Default()
+	// Same number of block writes; compressed writes 18 B/block vs 66.
+	uncomp := hybrid.Stats{NVMBytesWritten: 1000 * 66}
+	comp := hybrid.Stats{NVMBytesWritten: 1000 * 18}
+	eu := m.Window(uncomp, 0, geo).NVMDynamic
+	ec := m.Window(comp, 0, geo).NVMDynamic
+	if ec >= eu*0.5 {
+		t.Errorf("compressed write energy %v not well below uncompressed %v", ec, eu)
+	}
+}
+
+func TestPerKiloInstr(t *testing.T) {
+	b := Breakdown{SRAMDynamic: 2}
+	if got := PerKiloInstr(b, 1000); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("per-KI %v", got)
+	}
+	if PerKiloInstr(b, 0) != 0 {
+		t.Fatal("zero instructions should yield 0")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	s := Breakdown{SRAMDynamic: 1, NVMDynamic: 2}.String()
+	if !strings.Contains(s, "total 3.000 mJ") {
+		t.Errorf("render: %s", s)
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hier"
+	"repro/internal/hybrid"
+	"repro/internal/nvm"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AppRow is one application's behaviour under a policy when run
+// homogeneously (four copies, one per core) — the per-benchmark view
+// behind §IV-A's observations: with CA, fully-incompressible applications
+// (xz17, milc06) push everything into SRAM and over-reference it, while
+// fully-compressible ones (GemsFDTD06, zeusmp06) do the opposite.
+type AppRow struct {
+	App            string
+	HitRate        float64
+	MeanIPC        float64
+	NVMBytes       uint64
+	NVMShare       float64 // fraction of LLC insertions placed in NVM
+	CompressibleFr float64 // fraction of inserted blocks that compressed
+}
+
+// PerAppStudy runs each profiled application homogeneously under the given
+// policy configuration and reports the per-app placement behaviour. Rows
+// are sorted by application name.
+func PerAppStudy(base core.Config, policyName string, warmup, measure uint64) ([]AppRow, error) {
+	profs := workload.Profiles()
+	names := make([]string, 0, len(profs))
+	for n := range profs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	out := make([]AppRow, len(names))
+	if err := forEachIndex(len(names), func(i int) error {
+		name := names[i]
+		cfg := base
+		cfg.PolicyName = policyName
+		sys, err := buildHomogeneous(cfg, profs[name])
+		if err != nil {
+			return err
+		}
+		sys.Run(warmup)
+		r := sys.Run(measure)
+		row := AppRow{
+			App:      name,
+			HitRate:  r.LLC.HitRate(),
+			MeanIPC:  r.MeanIPC,
+			NVMBytes: r.LLC.NVMBytesWritten,
+		}
+		if ins := r.LLC.SRAMInserts + r.LLC.NVMInserts; ins > 0 {
+			row.NVMShare = float64(r.LLC.NVMInserts) / float64(ins)
+		}
+		if tot := r.LLC.InsertHCR + r.LLC.InsertLCR + r.LLC.InsertIncomp; tot > 0 {
+			row.CompressibleFr = float64(r.LLC.InsertHCR+r.LLC.InsertLCR) / float64(tot)
+		}
+		out[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// buildHomogeneous constructs a system running four copies of one profile,
+// reusing the config's geometry and policy selection.
+func buildHomogeneous(cfg core.Config, prof workload.Profile) (*hier.System, error) {
+	pol, thr, sram, nvmW, err := core.BuildPolicy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	apps := make([]*workload.App, 4)
+	for i := range apps {
+		p := prof.Scale(cfg.Scale)
+		apps[i], err = workload.NewApp(p, uint64(i+1)*workload.AppSpacing, cfg.Seed+uint64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+	}
+	llc := hybrid.New(hybrid.Config{
+		Sets: cfg.LLCSets, SRAMWays: sram, NVMWays: nvmW,
+		Policy: pol, Thresholds: thr,
+		Endurance: nvm.EnduranceModel{Mean: cfg.EnduranceMean, CV: cfg.EnduranceCV},
+		Sampler:   stats.NewRNG(cfg.Seed ^ 0xE7D5),
+	})
+	hcfg := hier.Config{
+		L1Sets: cfg.L1Sets, L1Ways: cfg.L1Ways,
+		L2Sets: cfg.L2SizeKB * 1024 / (cfg.L2Ways * 64), L2Ways: cfg.L2Ways,
+		EpochCycles: cfg.EpochCycles, IssueWidth: 4,
+		Lat: cfg.Latencies(), Banks: cfg.LLCBanks,
+	}
+	return hier.New(hcfg, llc, apps), nil
+}

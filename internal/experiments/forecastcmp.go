@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/forecast"
+)
+
+// ForecastSpec names one curve of Figs. 1/10/11 and how to derive its
+// configuration from the base.
+type ForecastSpec struct {
+	Label  string
+	Mutate func(*core.Config)
+}
+
+// StandardForecastSpecs returns the paper's Fig. 1 / Fig. 10a curve set:
+// the two SRAM bounds, BH, BH_CP, LHybrid, TAP, CP_SD and the Th4/Th8
+// rule variants.
+func StandardForecastSpecs() []ForecastSpec {
+	return []ForecastSpec{
+		{"SRAM16", func(c *core.Config) { c.PolicyName = "SRAM16" }},
+		{"SRAM4", func(c *core.Config) { c.PolicyName = "SRAM4" }},
+		{"BH", func(c *core.Config) { c.PolicyName = "BH" }},
+		{"BH_CP", func(c *core.Config) { c.PolicyName = "BH_CP" }},
+		{"LHybrid", func(c *core.Config) { c.PolicyName = "LHybrid" }},
+		{"TAP", func(c *core.Config) { c.PolicyName = "TAP" }},
+		{"CP_SD", func(c *core.Config) { c.PolicyName = "CP_SD" }},
+		{"CP_SD_Th4", func(c *core.Config) { c.PolicyName = "CP_SD_Th"; c.Th = 4; c.Tw = 5 }},
+		{"CP_SD_Th8", func(c *core.Config) { c.PolicyName = "CP_SD_Th"; c.Th = 8; c.Tw = 5 }},
+	}
+}
+
+// CoreForecastSpecs is the subset used by quick harness runs.
+func CoreForecastSpecs() []ForecastSpec {
+	all := StandardForecastSpecs()
+	out := make([]ForecastSpec, 0, 5)
+	for _, s := range all {
+		switch s.Label {
+		case "SRAM16", "BH", "LHybrid", "CP_SD":
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PolicyForecast aggregates one policy's forecast across mixes.
+type PolicyForecast struct {
+	Label  string
+	PerMix []forecast.Result
+
+	// MeanLifetimeMonths averages the finite per-mix lifetimes;
+	// CensoredMixes counts mixes whose capacity never reached the target
+	// within the forecast horizon (their lifetime is a lower bound).
+	MeanLifetimeMonths float64
+	CensoredMixes      int
+
+	// InitialIPC is the across-mix mean IPC of the first forecast point
+	// (the young-cache operating point of Fig. 10's left edge).
+	InitialIPC float64
+}
+
+// ForecastComparison runs the forecast for each spec across the mixes.
+// The (spec, mix) simulations are independent and run in parallel.
+func ForecastComparison(base core.Config, specs []ForecastSpec, mixes []int, fcfg forecast.Config) ([]PolicyForecast, error) {
+	results := make([]forecast.Result, len(specs)*len(mixes))
+	err := forEachIndex(len(results), func(i int) error {
+		spec := specs[i/len(mixes)]
+		m := mixes[i%len(mixes)]
+		cfg := base
+		cfg.MixID = m
+		spec.Mutate(&cfg)
+		sys, err := cfg.Build()
+		if err != nil {
+			return err
+		}
+		results[i] = forecast.Run(sys, fcfg)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PolicyForecast, 0, len(specs))
+	for si, spec := range specs {
+		pf := PolicyForecast{Label: spec.Label}
+		var lifeSum float64
+		var lifeN int
+		var ipcSum float64
+		for mi := range mixes {
+			res := results[si*len(mixes)+mi]
+			pf.PerMix = append(pf.PerMix, res)
+			if math.IsInf(res.LifetimeSeconds, 1) {
+				pf.CensoredMixes++
+			} else {
+				lifeSum += res.LifetimeMonths()
+				lifeN++
+			}
+			if len(res.Points) > 0 {
+				ipcSum += res.Points[0].MeanIPC
+			}
+		}
+		if lifeN > 0 {
+			pf.MeanLifetimeMonths = lifeSum / float64(lifeN)
+		} else {
+			pf.MeanLifetimeMonths = math.Inf(1)
+		}
+		pf.InitialIPC = ipcSum / float64(len(mixes))
+		out = append(out, pf)
+	}
+	return out, nil
+}
+
+// IPCAt returns the across-mix mean IPC of a policy at an absolute time,
+// using step interpolation (last measured point at or before t). Mixes
+// whose trajectory ended before t contribute their final point, matching
+// the paper's practice of plotting until 50% capacity.
+func (pf *PolicyForecast) IPCAt(seconds float64) float64 {
+	if len(pf.PerMix) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, res := range pf.PerMix {
+		sum += ipcAt(res, seconds)
+	}
+	return sum / float64(len(pf.PerMix))
+}
+
+func ipcAt(res forecast.Result, seconds float64) float64 {
+	if len(res.Points) == 0 {
+		return 0
+	}
+	last := res.Points[0].MeanIPC
+	for _, p := range res.Points {
+		if p.TimeSeconds > seconds {
+			break
+		}
+		last = p.MeanIPC
+	}
+	return last
+}
+
+// NormalizeTo divides a value by a bound, guarding zero.
+func NormalizeTo(v, bound float64) float64 {
+	if bound == 0 {
+		return 0
+	}
+	return v / bound
+}
+
+// FindSpec returns the forecast with the given label.
+func FindSpec(fs []PolicyForecast, label string) (PolicyForecast, bool) {
+	for _, f := range fs {
+		if f.Label == label {
+			return f, true
+		}
+	}
+	return PolicyForecast{}, false
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachIndexVisitsAll(t *testing.T) {
+	var mask [100]int32
+	if err := forEachIndex(100, func(i int) error {
+		atomic.AddInt32(&mask[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range mask {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+func TestForEachIndexPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := forEachIndex(50, func(i int) error {
+		if i == 13 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestForEachIndexZero(t *testing.T) {
+	if err := forEachIndex(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelDeterminism: the parallel harness must produce identical
+// results to a repeated run — each simulation is self-contained.
+func TestParallelDeterminism(t *testing.T) {
+	run := func() CPthSweep {
+		s, err := Fig6And7CPthSweep(quickBase(), []int{0}, 150_000, 500_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(), run()
+	if a.BHHits != b.BHHits || a.CPSDHits != b.CPSDHits || a.CPSDBytes != b.CPSDBytes {
+		t.Fatal("parallel sweep not reproducible")
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+}

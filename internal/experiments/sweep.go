@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dueling"
+)
+
+// CPthRow is one x-position of Figs. 6 and 7: the CA and CA_RWR policies
+// evaluated at a fixed compression threshold, averaged over mixes.
+type CPthRow struct {
+	CPth          int
+	CAHits        float64
+	CARWRHits     float64
+	CANVMBytes    float64
+	CARWRNVMBytes float64
+}
+
+// CPthSweep is the full Fig. 6 + Fig. 7 dataset. Hits and NVM bytes are
+// raw per-window means; normalise against BH for the paper's axes.
+type CPthSweep struct {
+	Rows       []CPthRow
+	BHHits     float64
+	BHNVMBytes float64
+	CPSDHits   float64
+	CPSDBytes  float64
+}
+
+// NormalizedHitRate returns row hits normalised to BH (Fig. 6 y-axis).
+func (s *CPthSweep) NormalizedHitRate(hits float64) float64 {
+	if s.BHHits == 0 {
+		return 0
+	}
+	return hits / s.BHHits
+}
+
+// NormalizedBytes returns NVM bytes normalised to BH (Fig. 7 y-axis).
+func (s *CPthSweep) NormalizedBytes(bytes float64) float64 {
+	if s.BHNVMBytes == 0 {
+		return 0
+	}
+	return bytes / s.BHNVMBytes
+}
+
+// Fig6And7CPthSweep evaluates CA and CA_RWR at every candidate CPth, plus
+// the BH reference and the CP_SD adaptive line, averaged across mixes.
+func Fig6And7CPthSweep(base core.Config, mixes []int, warmup, measure uint64) (CPthSweep, error) {
+	var out CPthSweep
+	bh := base
+	bh.PolicyName = "BH"
+	_, bhMean, err := core.MeasureMixes(bh, mixes, warmup, measure)
+	if err != nil {
+		return out, err
+	}
+	out.BHHits = float64(bhMean.Hits)
+	out.BHNVMBytes = float64(bhMean.NVMBytesWritten)
+
+	out.Rows = make([]CPthRow, len(dueling.DefaultCandidates))
+	if err := forEachIndex(len(dueling.DefaultCandidates), func(i int) error {
+		cpth := dueling.DefaultCandidates[i]
+		row := CPthRow{CPth: cpth}
+		ca := base
+		ca.PolicyName, ca.CPth = "CA", cpth
+		_, m, err := core.MeasureMixes(ca, mixes, warmup, measure)
+		if err != nil {
+			return err
+		}
+		row.CAHits = float64(m.Hits)
+		row.CANVMBytes = float64(m.NVMBytesWritten)
+
+		rwr := base
+		rwr.PolicyName, rwr.CPth = "CA_RWR", cpth
+		_, m, err = core.MeasureMixes(rwr, mixes, warmup, measure)
+		if err != nil {
+			return err
+		}
+		row.CARWRHits = float64(m.Hits)
+		row.CARWRNVMBytes = float64(m.NVMBytesWritten)
+		out.Rows[i] = row
+		return nil
+	}); err != nil {
+		return out, err
+	}
+
+	sd := base
+	sd.PolicyName = "CP_SD"
+	_, m, err := core.MeasureMixes(sd, mixes, warmup, measure)
+	if err != nil {
+		return out, err
+	}
+	out.CPSDHits = float64(m.Hits)
+	out.CPSDBytes = float64(m.NVMBytesWritten)
+	return out, nil
+}
+
+// Fig8Result is the optimal-CPth epoch distribution of Fig. 8.
+type Fig8Result struct {
+	Candidates []int
+	// Capacities lists the NVM capacity operating points of Fig. 8a;
+	// ByCapacity[i][k] is the fraction of epochs in which candidate k had
+	// the most hits at capacity Capacities[i], pooled over mixes.
+	Capacities []float64
+	ByCapacity [][]float64
+	// Mixes lists mix ids; ByMix[i][k] is the same distribution per mix
+	// at 100% capacity (Fig. 8b).
+	Mixes []int
+	ByMix [][]float64
+}
+
+// Fig8OptimalCPth measures, per set-dueling epoch, which CPth candidate
+// achieved the most hits in its sampler sets, across NVM capacities and
+// mixes.
+func Fig8OptimalCPth(base core.Config, mixes []int, capacities []float64, warmupEpochs, epochs int) (Fig8Result, error) {
+	res := Fig8Result{
+		Candidates: append([]int(nil), dueling.DefaultCandidates...),
+		Capacities: capacities,
+		Mixes:      mixes,
+	}
+	nc := len(res.Candidates)
+	res.ByMix = make([][]float64, len(mixes))
+	for _, capacity := range capacities {
+		counts := make([]float64, nc)
+		total := 0.0
+		for mi, m := range mixes {
+			cfg := base
+			cfg.MixID = m
+			cfg.PolicyName = "CP_SD"
+			sys, err := cfg.Build()
+			if err != nil {
+				return res, err
+			}
+			core.PreAge(sys, capacity)
+			d, ok := core.Dueling(sys)
+			if !ok {
+				return res, fmt.Errorf("experiments: CP_SD system has no dueling controller")
+			}
+			d.RecordPerEpoch = true
+			sys.Run(uint64(warmupEpochs+epochs) * cfg.EpochCycles)
+			eh := d.EpochHits
+			if len(eh) > epochs {
+				eh = eh[len(eh)-epochs:]
+			}
+			mixCounts := make([]float64, nc)
+			for _, hits := range eh {
+				best := 0
+				for k := 1; k < nc; k++ {
+					if hits[k] > hits[best] {
+						best = k
+					}
+				}
+				counts[best]++
+				mixCounts[best]++
+				total++
+			}
+			if capacity == 1.0 {
+				normalize(mixCounts)
+				res.ByMix[mi] = mixCounts
+			}
+		}
+		normalize(counts)
+		_ = total
+		res.ByCapacity = append(res.ByCapacity, counts)
+	}
+	return res, nil
+}
+
+func normalize(xs []float64) {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	if sum == 0 {
+		return
+	}
+	for i := range xs {
+		xs[i] /= sum
+	}
+}
+
+// ThPoint is one marker of Fig. 9: hits and NVM bytes written of CP_SD_Th
+// at a given Th and NVM capacity, normalised to BH at 100% capacity.
+type ThPoint struct {
+	Th       float64
+	Capacity float64
+	Hits     float64 // normalised to BH @ 100%
+	NVMBytes float64 // normalised to BH @ 100%
+}
+
+// Fig9ThTradeoff sweeps Th at Tw=tw across capacities. Th=0 reproduces
+// plain CP_SD.
+func Fig9ThTradeoff(base core.Config, mixes []int, ths []float64, capacities []float64, tw float64, warmup, measure uint64) ([]ThPoint, error) {
+	bh := base
+	bh.PolicyName = "BH"
+	_, bhMean, err := core.MeasureMixes(bh, mixes, warmup, measure)
+	if err != nil {
+		return nil, err
+	}
+	bhHits := float64(bhMean.Hits)
+	bhBytes := float64(bhMean.NVMBytesWritten)
+
+	out := make([]ThPoint, len(capacities)*len(ths))
+	err = forEachIndex(len(out), func(i int) error {
+		capacity := capacities[i/len(ths)]
+		th := ths[i%len(ths)]
+		var hits, bytes float64
+		for _, m := range mixes {
+			cfg := base
+			cfg.MixID = m
+			if th == 0 {
+				cfg.PolicyName = "CP_SD"
+			} else {
+				cfg.PolicyName = "CP_SD_Th"
+				cfg.Th, cfg.Tw = th, tw
+			}
+			sys, err := cfg.Build()
+			if err != nil {
+				return err
+			}
+			core.PreAge(sys, capacity)
+			s := core.Measure(sys, warmup, measure)
+			hits += float64(s.Hits)
+			bytes += float64(s.NVMBytesWritten)
+		}
+		n := float64(len(mixes))
+		out[i] = ThPoint{
+			Th:       th,
+			Capacity: capacity,
+			Hits:     hits / n / bhHits,
+			NVMBytes: bytes / n / bhBytes,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EpochSizeRow is one point of the §IV-C epoch-size sensitivity study.
+type EpochSizeRow struct {
+	EpochCycles uint64
+	Hits        float64 // mean hits per cycle across mixes (comparable rate)
+	HitRate     float64
+}
+
+// EpochSizeSweep evaluates CP_SD under different set-dueling epoch sizes
+// (the paper selects 2M cycles).
+func EpochSizeSweep(base core.Config, mixes []int, sizes []uint64, warmup, measure uint64) ([]EpochSizeRow, error) {
+	var out []EpochSizeRow
+	for _, sz := range sizes {
+		cfg := base
+		cfg.PolicyName = "CP_SD"
+		cfg.EpochCycles = sz
+		_, m, err := core.MeasureMixes(cfg, mixes, warmup, measure)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, EpochSizeRow{
+			EpochCycles: sz,
+			Hits:        float64(m.Hits) / float64(measure),
+			HitRate:     m.HitRate,
+		})
+	}
+	return out, nil
+}

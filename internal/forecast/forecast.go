@@ -1,0 +1,263 @@
+// Package forecast implements the paper's aging forecast procedure
+// (§V-A, adapted from [15]): it alternates full-hierarchy simulation
+// phases, which measure per-frame NVM byte-write rates, with analytic
+// prediction phases that advance wall-clock time, wearing out bitcells
+// and updating the fault maps, until the NVM part loses half of its
+// effective capacity. The output is the temporal evolution of performance
+// (IPC), hit rate and capacity — the curves of Figs. 1, 10 and 11.
+package forecast
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/hier"
+	"repro/internal/nvm"
+)
+
+// SecondsPerMonth converts forecast times to the paper's month axis.
+const SecondsPerMonth = 365.25 * 24 * 3600 / 12
+
+// Config controls the forecast loop.
+type Config struct {
+	// ClockHz is the core clock (Table IV: 3.5 GHz).
+	ClockHz float64
+	// WarmupCycles are simulated before each measurement window.
+	WarmupCycles uint64
+	// PhaseCycles is the measured simulation window per phase.
+	PhaseCycles uint64
+	// CapacityStep is the capacity-fraction drop per prediction phase
+	// (e.g. 0.025 resolves the 1.0 -> 0.5 trajectory in 20 phases).
+	CapacityStep float64
+	// TargetCapacity stops the forecast (paper: 0.5).
+	TargetCapacity float64
+	// MaxPhases bounds the loop for policies that barely write NVM.
+	MaxPhases int
+	// MaxPredictSeconds bounds one prediction phase; with no NVM write
+	// traffic the capacity would never drop.
+	MaxPredictSeconds float64
+	// InterSetRotation enables Start-Gap-style set-level wear leveling:
+	// the logical-to-physical set mapping rotates by one row per
+	// prediction phase, spreading set-skewed write traffic across all
+	// physical frame rows over the device lifetime.
+	InterSetRotation bool
+}
+
+// DefaultConfig returns forecast parameters for the scaled system.
+func DefaultConfig() Config {
+	return Config{
+		ClockHz:           3.5e9,
+		WarmupCycles:      2_000_000,
+		PhaseCycles:       10_000_000,
+		CapacityStep:      0.025,
+		TargetCapacity:    0.5,
+		MaxPhases:         40,
+		MaxPredictSeconds: 20 * 12 * SecondsPerMonth, // 20 years
+	}
+}
+
+// Point is one sample of the forecast trajectory, taken at the start of a
+// simulation phase.
+type Point struct {
+	TimeSeconds    float64
+	Capacity       float64 // NVM effective capacity fraction at measurement
+	MeanIPC        float64
+	HitRate        float64
+	NVMByteRate    float64 // NVM bytes written per second of machine time
+	LiveFrames     int
+	EntriesDropped int // LLC entries invalidated by aging before this phase
+}
+
+// Result is a full forecast trajectory for one policy/workload.
+type Result struct {
+	Policy          string
+	Points          []Point
+	LifetimeSeconds float64 // time at which capacity reached the target; +Inf if never
+}
+
+// LifetimeMonths converts the lifetime to months (+Inf preserved).
+func (r Result) LifetimeMonths() float64 { return r.LifetimeSeconds / SecondsPerMonth }
+
+// Run executes the forecast on a system until its LLC's NVM capacity
+// reaches cfg.TargetCapacity.
+func Run(sys *hier.System, cfg Config) Result {
+	res := Result{Policy: sys.LLC().Policy().Name(), LifetimeSeconds: math.Inf(1)}
+	arr := sys.LLC().Array()
+	if arr == nil {
+		// SRAM-only configuration: a single phase measures steady-state
+		// performance; there is nothing to age.
+		sys.Run(cfg.WarmupCycles)
+		st := sys.Run(cfg.PhaseCycles)
+		res.Points = append(res.Points, Point{
+			Capacity: 1, MeanIPC: st.MeanIPC, HitRate: st.LLC.HitRate(),
+		})
+		return res
+	}
+
+	t := 0.0
+	dropped := 0
+	for phase := 0; phase < cfg.MaxPhases; phase++ {
+		sys.Run(cfg.WarmupCycles)
+		arr.ResetPhase()
+		st := sys.Run(cfg.PhaseCycles)
+		phaseSeconds := float64(st.Cycles) / cfg.ClockHz
+		cap := arr.EffectiveCapacityFraction()
+		res.Points = append(res.Points, Point{
+			TimeSeconds:    t,
+			Capacity:       cap,
+			MeanIPC:        st.MeanIPC,
+			HitRate:        st.LLC.HitRate(),
+			NVMByteRate:    float64(st.LLC.NVMBytesWritten) / phaseSeconds,
+			LiveFrames:     arr.LiveFrames(),
+			EntriesDropped: dropped,
+		})
+		if cap <= cfg.TargetCapacity {
+			res.LifetimeSeconds = t
+			break
+		}
+		stop := cap - cfg.CapacityStep
+		if stop < cfg.TargetCapacity {
+			stop = cfg.TargetCapacity
+		}
+		dt, newCap := Age(arr, phaseSeconds, stop, cfg.MaxPredictSeconds)
+		t += dt
+		dropped = sys.LLC().InvalidateUnfit()
+		// Rotate the global wear-leveling counter, as hardware does over
+		// long periods (§III-B1).
+		arr.Counter().Advance(7)
+		if cfg.InterSetRotation {
+			sys.LLC().RotateNVMSets(1)
+		}
+		if newCap <= cfg.TargetCapacity {
+			res.LifetimeSeconds = t
+			// One final measurement at the target capacity.
+			sys.Run(cfg.WarmupCycles)
+			arr.ResetPhase()
+			st := sys.Run(cfg.PhaseCycles)
+			res.Points = append(res.Points, Point{
+				TimeSeconds: t, Capacity: newCap, MeanIPC: st.MeanIPC,
+				HitRate:    st.LLC.HitRate(),
+				LiveFrames: arr.LiveFrames(), EntriesDropped: dropped,
+			})
+			break
+		}
+		if dt >= cfg.MaxPredictSeconds {
+			// Write traffic too low to ever reach the target.
+			break
+		}
+	}
+	return res
+}
+
+// frameAger tracks one frame's analytic aging between simulation phases.
+type frameAger struct {
+	f     *nvm.Frame
+	rate  float64 // bytes written per second (from the last phase)
+	lastT float64 // time up to which wear has been applied
+}
+
+// nextDeath returns the absolute time of the frame's next byte death, or
+// +Inf when it will never die at the current rate.
+func (fa *frameAger) nextDeath() float64 {
+	if fa.f.Dead() || fa.rate <= 0 {
+		return math.Inf(1)
+	}
+	live := float64(fa.f.LiveBytes())
+	need := (fa.f.NextLimit() - fa.f.Wear()) * live / fa.rate
+	if need < 0 {
+		need = 0
+	}
+	return fa.lastT + need
+}
+
+// advanceTo applies wear up to absolute time T, handling the rate-per-byte
+// increase as bytes die (the frame's byte traffic concentrates on the
+// remaining live bytes).
+func (fa *frameAger) advanceTo(T float64) {
+	for !fa.f.Dead() && fa.rate > 0 && fa.lastT < T {
+		d := fa.nextDeath()
+		if d > T {
+			live := float64(fa.f.LiveBytes())
+			fa.f.AddWear(fa.rate * (T - fa.lastT) / live)
+			break
+		}
+		fa.f.AdvanceTo(fa.f.NextLimit())
+		fa.lastT = d
+	}
+	fa.lastT = T
+}
+
+// event queue over frame death times.
+type ageEvent struct {
+	t   float64
+	idx int
+}
+
+type ageHeap []ageEvent
+
+func (h ageHeap) Len() int            { return len(h) }
+func (h ageHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h ageHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *ageHeap) Push(x interface{}) { *h = append(*h, x.(ageEvent)) }
+func (h *ageHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Age advances the array's wear analytically, assuming each frame keeps
+// receiving bytes at the rate observed over the last simulation phase
+// (PhaseWritten / phaseSeconds), until the array's effective capacity
+// fraction falls to stopCapacity or maxSeconds elapse. It returns the
+// elapsed time and the resulting capacity fraction.
+//
+// The computation is exact: within a frame, wear accrues linearly at
+// rate/liveBytes and jumps discretely as bytes die; across frames, a
+// priority queue processes byte deaths in global time order.
+func Age(arr *nvm.Array, phaseSeconds, stopCapacity, maxSeconds float64) (elapsed, capacity float64) {
+	frames := arr.Frames()
+	agers := make([]frameAger, len(frames))
+	h := make(ageHeap, 0, len(frames))
+	totalUnits := float64(len(frames) * nvm.DataBytes)
+	capUnits := 0
+	for i, f := range frames {
+		agers[i] = frameAger{f: f, rate: float64(f.PhaseWritten()) / phaseSeconds}
+		capUnits += f.EffectiveCapacity()
+		if d := agers[i].nextDeath(); !math.IsInf(d, 1) {
+			h = append(h, ageEvent{d, i})
+		}
+	}
+	heap.Init(&h)
+
+	T := 0.0
+	for float64(capUnits)/totalUnits > stopCapacity && h.Len() > 0 {
+		ev := heap.Pop(&h).(ageEvent)
+		if ev.t > maxSeconds {
+			T = maxSeconds
+			h = h[:0]
+			break
+		}
+		fa := &agers[ev.idx]
+		before := fa.f.EffectiveCapacity()
+		fa.f.AdvanceTo(fa.f.NextLimit())
+		fa.lastT = ev.t
+		capUnits -= before - fa.f.EffectiveCapacity()
+		T = ev.t
+		if d := fa.nextDeath(); !math.IsInf(d, 1) {
+			heap.Push(&h, ageEvent{d, ev.idx})
+		}
+	}
+	if h.Len() == 0 && float64(capUnits)/totalUnits > stopCapacity {
+		// No more deaths possible at these rates within the horizon.
+		if T < maxSeconds {
+			T = maxSeconds
+		}
+	}
+	// Apply partial wear to every frame up to T.
+	for i := range agers {
+		agers[i].advanceTo(T)
+	}
+	return T, arr.EffectiveCapacityFraction()
+}

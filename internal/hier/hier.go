@@ -1,0 +1,464 @@
+// Package hier simulates the paper's 4-core memory hierarchy (Table IV):
+// per-core private L1 and L2 caches, and a shared non-inclusive hybrid LLC.
+// The block movement follows the NVM-friendly mostly-exclusive flow of
+// §III-A: an LLC miss fills the private levels directly from memory, L2
+// victims (clean or dirty) are written to the LLC if absent, and a GetX
+// that hits the LLC invalidates the LLC copy.
+//
+// Timing is trace-driven: each core advances its own cycle counter by the
+// issue cost of the instruction gap plus the load-use latency of the level
+// that served the access. Cores are interleaved in global cycle order, so
+// the shared LLC observes a realistic cross-core access ordering and the
+// set-dueling epochs (2M cycles) elapse in wall-clock cycles.
+package hier
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/hybrid"
+	"repro/internal/workload"
+)
+
+// Latencies holds the load-use delays in cycles (Table IV).
+type Latencies struct {
+	L1Hit      int // 3-cycle load-use
+	L2Hit      int
+	LLCSRAM    int // 28-cycle load-use (4-cycle data array)
+	LLCNVM     int // 32-cycle load-use (8-cycle data array)
+	Decompress int // +2 cycles for BDI decompression and rearrangement
+	Memory     int // DDR4 round trip
+}
+
+// DefaultLatencies returns the paper's values.
+func DefaultLatencies() Latencies {
+	return Latencies{L1Hit: 3, L2Hit: 12, LLCSRAM: 28, LLCNVM: 32, Decompress: 2, Memory: 180}
+}
+
+// Config describes the private levels and the timing model.
+type Config struct {
+	L1Sets, L1Ways int // default 128x4 (32 KB)
+	L2Sets, L2Ways int // default 128x16 (128 KB)
+	EpochCycles    uint64
+	IssueWidth     int // effective non-memory IPC (Table IV: up to 8-wide OoO)
+	Lat            Latencies
+
+	// Prefetch enables the per-core L2 stride prefetcher; degree is the
+	// number of blocks fetched ahead per confirmed stream (default 1).
+	Prefetch       bool
+	PrefetchDegree int
+
+	// Banks models the LLC's address-interleaved banking (Table IV: 4
+	// banks behind a crossbar). Each access occupies its bank's data
+	// array — SRAM reads 4 cycles, NVM reads 8, NVM writes 20 — and
+	// requests to a busy bank queue, so cores interfere realistically.
+	// 0 disables contention modelling.
+	Banks int
+}
+
+// DefaultConfig returns the scaled default configuration.
+func DefaultConfig() Config {
+	return Config{
+		L1Sets: 128, L1Ways: 4,
+		L2Sets: 128, L2Ways: 16,
+		EpochCycles: 2_000_000,
+		IssueWidth:  4,
+		Lat:         DefaultLatencies(),
+		Banks:       4,
+	}
+}
+
+// Program is the per-core stimulus source: the synthetic application
+// models of package workload implement it directly, and package trace
+// adapts recorded traces to it (the HyCSim-style trace-driven mode).
+type Program interface {
+	// Next produces the next memory access.
+	Next() workload.Access
+	// Owns reports whether a global block address belongs to the program.
+	Owns(block uint64) bool
+	// BumpVersion records a store to a block, changing its content.
+	BumpVersion(block uint64)
+	// Content returns the block's current 64-byte contents.
+	Content(block uint64) []byte
+}
+
+// Core is one simulated core: a program plus private caches.
+type Core struct {
+	app    Program
+	l1, l2 *cache.Cache
+	pf     *Prefetcher
+	cycles uint64
+	insts  uint64
+}
+
+// Prefetcher returns the core's prefetcher (nil when disabled).
+func (c *Core) Prefetcher() *Prefetcher { return c.pf }
+
+// Cycles returns the core's local clock.
+func (c *Core) Cycles() uint64 { return c.cycles }
+
+// Insts returns the number of instructions retired.
+func (c *Core) Insts() uint64 { return c.insts }
+
+// App returns the program bound to the core.
+func (c *Core) App() Program { return c.app }
+
+// L2 exposes the core's L2 for tests.
+func (c *Core) L2() *cache.Cache { return c.l2 }
+
+// System is the full simulated machine.
+type System struct {
+	cfg   Config
+	llc   *hybrid.LLC
+	cores []*Core
+
+	epochEnd uint64
+	// Epochs counts completed set-dueling epochs.
+	Epochs int
+
+	// MemFetches counts demand fills from main memory (LLC misses);
+	// memory writes are the LLC's Writebacks counter.
+	MemFetches uint64
+
+	// bankFree holds, per LLC bank, the cycle at which the bank's data
+	// array becomes free again.
+	bankFree []uint64
+	// BankStallCycles accumulates cycles cores spent queueing for banks.
+	BankStallCycles uint64
+}
+
+// New builds a system running the given apps (one per core) against llc.
+func New(cfg Config, llc *hybrid.LLC, apps []*workload.App) *System {
+	progs := make([]Program, len(apps))
+	for i, a := range apps {
+		progs[i] = a
+	}
+	return NewFromPrograms(cfg, llc, progs)
+}
+
+// NewFromPrograms builds a system from arbitrary per-core programs (e.g.
+// trace replays).
+func NewFromPrograms(cfg Config, llc *hybrid.LLC, apps []Program) *System {
+	if len(apps) == 0 {
+		panic("hier: no applications")
+	}
+	if cfg.IssueWidth <= 0 {
+		cfg.IssueWidth = 4
+	}
+	if cfg.EpochCycles == 0 {
+		cfg.EpochCycles = 2_000_000
+	}
+	s := &System{cfg: cfg, llc: llc, epochEnd: cfg.EpochCycles}
+	if cfg.Banks > 0 {
+		s.bankFree = make([]uint64, cfg.Banks)
+	}
+	for _, app := range apps {
+		c := &Core{
+			app: app,
+			l1:  cache.New(cfg.L1Sets, cfg.L1Ways),
+			l2:  cache.New(cfg.L2Sets, cfg.L2Ways),
+		}
+		if cfg.Prefetch {
+			c.pf = newPrefetcher(64, cfg.PrefetchDegree)
+		}
+		s.cores = append(s.cores, c)
+	}
+	return s
+}
+
+// LLC returns the shared last-level cache.
+func (s *System) LLC() *hybrid.LLC { return s.llc }
+
+// Cores returns the simulated cores.
+func (s *System) Cores() []*Core { return s.cores }
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Now returns the global wall-clock: the minimum core cycle count, i.e.
+// the time up to which all cores have definitely progressed.
+func (s *System) Now() uint64 {
+	min := s.cores[0].cycles
+	for _, c := range s.cores[1:] {
+		if c.cycles < min {
+			min = c.cycles
+		}
+	}
+	return min
+}
+
+// RunStats summarises one Run window.
+type RunStats struct {
+	Cycles     uint64    // wall-clock cycles advanced
+	Insts      []uint64  // per-core instructions retired in the window
+	IPC        []float64 // per-core IPC in the window
+	MeanIPC    float64   // arithmetic mean across cores (paper's metric)
+	LLC        hybrid.Stats
+	MemFetches uint64
+}
+
+// Run advances the system by the given number of wall-clock cycles,
+// interleaving cores in global cycle order, and returns the statistics of
+// the window. Set-dueling epochs are closed as the clock crosses each
+// EpochCycles boundary.
+func (s *System) Run(cycles uint64) RunStats {
+	start := s.Now()
+	target := start + cycles
+	startInsts := make([]uint64, len(s.cores))
+	startCycles := make([]uint64, len(s.cores))
+	for i, c := range s.cores {
+		startInsts[i] = c.insts
+		startCycles[i] = c.cycles
+	}
+	llcBefore := s.llc.Stats
+	memBefore := s.MemFetches
+
+	for {
+		// Advance the core that is furthest behind.
+		core := s.cores[0]
+		for _, c := range s.cores[1:] {
+			if c.cycles < core.cycles {
+				core = c
+			}
+		}
+		if core.cycles >= target {
+			break
+		}
+		s.step(core)
+		// Close epochs as the global clock crosses boundaries.
+		for now := s.Now(); now >= s.epochEnd; {
+			s.llc.EndEpoch()
+			s.Epochs++
+			s.epochEnd += s.cfg.EpochCycles
+		}
+	}
+
+	out := RunStats{
+		Cycles:     s.Now() - start,
+		Insts:      make([]uint64, len(s.cores)),
+		IPC:        make([]float64, len(s.cores)),
+		MemFetches: s.MemFetches - memBefore,
+	}
+	var sum float64
+	for i, c := range s.cores {
+		out.Insts[i] = c.insts - startInsts[i]
+		d := c.cycles - startCycles[i]
+		if d > 0 {
+			out.IPC[i] = float64(out.Insts[i]) / float64(d)
+		}
+		sum += out.IPC[i]
+	}
+	out.MeanIPC = sum / float64(len(s.cores))
+	out.LLC = diffStats(llcBefore, s.llc.Stats)
+	return out
+}
+
+// step executes one memory access on a core.
+func (s *System) step(c *Core) {
+	acc := c.app.Next()
+	lat := &s.cfg.Lat
+	c.insts += uint64(acc.Gap) + 1
+	c.cycles += uint64((acc.Gap + s.cfg.IssueWidth - 1) / s.cfg.IssueWidth)
+
+	if acc.Write {
+		c.app.BumpVersion(acc.Block)
+	}
+
+	// L1.
+	if l := c.l1.Access(acc.Block, acc.Write); l != nil {
+		if acc.Write {
+			c.cycles++
+			s.clearLB(c, acc.Block)
+		} else {
+			c.cycles += uint64(lat.L1Hit)
+		}
+		return
+	}
+
+	// L2.
+	if l := c.l2.Access(acc.Block, false); l != nil {
+		tag := hybrid.UnpackTag(l.Flags)
+		if c.pf != nil && tag.Prefetched {
+			c.pf.Useful++
+			tag.Prefetched = false
+			l.Flags = tag.Pack()
+		}
+		if acc.Write {
+			c.cycles++
+			// The store modifies the block: it is no longer a loop-block.
+			tag = hybrid.UnpackTag(l.Flags)
+			tag.LB = false
+			l.Flags = tag.Pack()
+		} else {
+			c.cycles += uint64(lat.L2Hit)
+		}
+		s.fillL1(c, acc.Block, acc.Write)
+		if c.pf != nil {
+			s.prefetch(c, c.pf.observe(acc.Block))
+		}
+		return
+	}
+
+	// LLC (GetX for fetches with write permission, GetS otherwise).
+	var res hybrid.AccessResult
+	if acc.Write {
+		res = s.llc.GetX(acc.Block)
+	} else {
+		res = s.llc.GetS(acc.Block)
+	}
+	switch {
+	case res.Hit && res.Part == hybrid.SRAM:
+		c.cycles += uint64(lat.LLCSRAM)
+		c.cycles += s.bankAcquire(acc.Block, c.cycles, bankOccSRAMRead)
+	case res.Hit:
+		c.cycles += uint64(lat.LLCNVM)
+		if s.llc.CompressionEnabled() {
+			c.cycles += uint64(lat.Decompress)
+		}
+		c.cycles += s.bankAcquire(acc.Block, c.cycles, bankOccNVMRead)
+	default:
+		c.cycles += uint64(lat.Memory)
+		s.MemFetches++
+	}
+
+	dirty := res.Dirty // GetX transfers dirty ownership to L2
+	s.fillL2(c, acc.Block, dirty, res.Tag.Pack())
+	s.fillL1(c, acc.Block, acc.Write)
+	if c.pf != nil {
+		s.prefetch(c, c.pf.observe(acc.Block))
+	}
+}
+
+// fillL2 inserts a block into a core's L2, sending the L2 victim to the
+// LLC per the non-inclusive flow.
+func (s *System) fillL2(c *Core, block uint64, dirty bool, flags uint8) {
+	ev := c.l2.Insert(block, dirty, flags)
+	if !ev.Valid {
+		return
+	}
+	// Maintain L1 inclusion: the victim leaves L1 too, folding its
+	// dirtiness into the L2 line being evicted.
+	if l1old, ok := c.l1.Invalidate(ev.Block); ok && l1old.Dirty {
+		ev.Dirty = true
+	}
+	tag := hybrid.UnpackTag(ev.Flags)
+	if ev.Dirty {
+		tag.LB = false // a modified block cannot be a loop-block
+	}
+	var content []byte
+	if s.llc.CompressionEnabled() {
+		content = s.appOf(ev.Block).Content(ev.Block)
+	}
+	out := s.llc.Insert(ev.Block, ev.Dirty, tag, content)
+	if occ := bankWriteOcc(out); occ > 0 {
+		// The write itself is off the core's critical path (posted by the
+		// L2 eviction), but it occupies the bank and delays later reads.
+		s.bankAcquire(ev.Block, c.cycles, occ)
+	}
+}
+
+// fillL1 inserts a block into a core's L1, folding dirty victims back into
+// their (inclusive) L2 lines.
+func (s *System) fillL1(c *Core, block uint64, dirty bool) {
+	ev := c.l1.Insert(block, dirty, 0)
+	if ev.Valid && ev.Dirty {
+		if w, ok := c.l2.Lookup(ev.Block); ok {
+			l := c.l2.Line(c.l2.SetOf(ev.Block), w)
+			l.Dirty = true
+			tag := hybrid.UnpackTag(l.Flags)
+			tag.LB = false
+			l.Flags = tag.Pack()
+		}
+	}
+	if dirty {
+		s.clearLB(c, block)
+	}
+}
+
+// clearLB clears the loop-block tag of a block in L2 after a store.
+func (s *System) clearLB(c *Core, block uint64) {
+	if w, ok := c.l2.Lookup(block); ok {
+		l := c.l2.Line(c.l2.SetOf(block), w)
+		tag := hybrid.UnpackTag(l.Flags)
+		tag.LB = false
+		l.Flags = tag.Pack()
+	}
+}
+
+// appOf resolves the owner of a global block address.
+func (s *System) appOf(block uint64) Program {
+	idx := int(block/workload.AppSpacing) - 1
+	if idx >= 0 && idx < len(s.cores) && s.cores[idx].app.Owns(block) {
+		return s.cores[idx].app
+	}
+	for _, c := range s.cores {
+		if c.app.Owns(block) {
+			return c.app
+		}
+	}
+	panic(fmt.Sprintf("hier: no owner for block %#x", block))
+}
+
+func diffStats(a, b hybrid.Stats) hybrid.Stats {
+	return hybrid.Stats{
+		GetS:              b.GetS - a.GetS,
+		GetX:              b.GetX - a.GetX,
+		Hits:              b.Hits - a.Hits,
+		Misses:            b.Misses - a.Misses,
+		SRAMHits:          b.SRAMHits - a.SRAMHits,
+		NVMHits:           b.NVMHits - a.NVMHits,
+		Inserts:           b.Inserts - a.Inserts,
+		SRAMInserts:       b.SRAMInserts - a.SRAMInserts,
+		NVMInserts:        b.NVMInserts - a.NVMInserts,
+		NVMBlockWrites:    b.NVMBlockWrites - a.NVMBlockWrites,
+		NVMBytesWritten:   b.NVMBytesWritten - a.NVMBytesWritten,
+		Migrations:        b.Migrations - a.Migrations,
+		Writebacks:        b.Writebacks - a.Writebacks,
+		NVMFallbacks:      b.NVMFallbacks - a.NVMFallbacks,
+		InPlaceUpdates:    b.InPlaceUpdates - a.InPlaceUpdates,
+		InsertHCR:         b.InsertHCR - a.InsertHCR,
+		InsertLCR:         b.InsertLCR - a.InsertLCR,
+		InsertIncomp:      b.InsertIncomp - a.InsertIncomp,
+		InvalidatedOnGetX: b.InvalidatedOnGetX - a.InvalidatedOnGetX,
+		DataPathErrors:    b.DataPathErrors - a.DataPathErrors,
+	}
+}
+
+// Bank data-array occupancies in cycles (Table IV: 4-cycle SRAM D-array,
+// 8-cycle NVM D-array, 20-cycle NVM write).
+const (
+	bankOccSRAMRead  = 4
+	bankOccNVMRead   = 8
+	bankOccSRAMWrite = 4
+	bankOccNVMWrite  = 20
+)
+
+// bankAcquire queues an access to the block's bank at time t, occupying
+// the bank for occ cycles. It returns the queueing delay the requester
+// observes before its access starts.
+func (s *System) bankAcquire(block uint64, t uint64, occ int) uint64 {
+	if s.bankFree == nil {
+		return 0
+	}
+	b := block % uint64(len(s.bankFree))
+	start := t
+	var wait uint64
+	if s.bankFree[b] > t {
+		wait = s.bankFree[b] - t
+		start = s.bankFree[b]
+		s.BankStallCycles += wait
+	}
+	s.bankFree[b] = start + uint64(occ)
+	return wait
+}
+
+// bankWriteOcc maps an insert outcome to the data-array occupancy.
+func bankWriteOcc(out hybrid.InsertOutcome) int {
+	if !out.Wrote {
+		return 0
+	}
+	if out.Part == hybrid.NVM {
+		return bankOccNVMWrite
+	}
+	return bankOccSRAMWrite
+}

@@ -1,0 +1,264 @@
+package hier
+
+import (
+	"testing"
+
+	"repro/internal/hybrid"
+	"repro/internal/nvm"
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func testLLC(t testing.TB, pol hybrid.Policy, thr hybrid.ThresholdProvider) *hybrid.LLC {
+	t.Helper()
+	return hybrid.New(hybrid.Config{
+		Sets: 256, SRAMWays: 4, NVMWays: 12,
+		Policy: pol, Thresholds: thr,
+		Endurance: nvm.EnduranceModel{Mean: 1e10, CV: 0.2},
+		Sampler:   stats.NewRNG(5),
+	})
+}
+
+func testSystem(t testing.TB, pol hybrid.Policy, thr hybrid.ThresholdProvider, mix int) *System {
+	t.Helper()
+	apps, err := workload.NewMix(mix, 1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.EpochCycles = 200_000
+	return New(cfg, testLLC(t, pol, thr), apps)
+}
+
+func TestRunAdvancesAllCores(t *testing.T) {
+	s := testSystem(t, policy.BH{}, nil, 0)
+	r := s.Run(300_000)
+	if r.Cycles < 300_000 {
+		t.Fatalf("advanced only %d cycles", r.Cycles)
+	}
+	for i, c := range s.Cores() {
+		if c.Cycles() < 300_000 {
+			t.Errorf("core %d at %d cycles", i, c.Cycles())
+		}
+		if c.Insts() == 0 {
+			t.Errorf("core %d retired nothing", i)
+		}
+	}
+	if r.MeanIPC <= 0 {
+		t.Fatal("zero IPC")
+	}
+}
+
+func TestCoreInterleavingStaysTight(t *testing.T) {
+	s := testSystem(t, policy.BH{}, nil, 1)
+	s.Run(200_000)
+	min, max := ^uint64(0), uint64(0)
+	for _, c := range s.Cores() {
+		if c.Cycles() < min {
+			min = c.Cycles()
+		}
+		if c.Cycles() > max {
+			max = c.Cycles()
+		}
+	}
+	// Cores advance in lockstep within one access worth of cycles.
+	if max-min > 1000 {
+		t.Errorf("core skew %d cycles", max-min)
+	}
+}
+
+func TestLLCSeesTraffic(t *testing.T) {
+	s := testSystem(t, policy.BH{}, nil, 0)
+	r := s.Run(400_000)
+	if r.LLC.GetS == 0 {
+		t.Error("no GetS traffic reached the LLC")
+	}
+	if r.LLC.GetX == 0 {
+		t.Error("no GetX traffic reached the LLC")
+	}
+	if r.LLC.Inserts == 0 {
+		t.Error("no L2 victims inserted")
+	}
+	if r.MemFetches == 0 {
+		t.Error("no memory fetches")
+	}
+	if r.LLC.Hits == 0 {
+		t.Error("LLC never hit; workload reuse broken")
+	}
+}
+
+func TestEpochsClose(t *testing.T) {
+	s := testSystem(t, policy.CARWR{PolicyName: "CP_SD"}, nil, 0)
+	s.Run(1_000_000)
+	if s.Epochs < 4 {
+		t.Errorf("closed %d epochs in 1M cycles with 200K epochs", s.Epochs)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, float64) {
+		s := testSystem(t, policy.CARWR{}, hybrid.FixedThreshold(37), 2)
+		r := s.Run(300_000)
+		return r.LLC.Hits, r.LLC.NVMBytesWritten, r.MeanIPC
+	}
+	h1, b1, i1 := run()
+	h2, b2, i2 := run()
+	if h1 != h2 || b1 != b2 || i1 != i2 {
+		t.Fatalf("non-deterministic: (%d,%d,%v) vs (%d,%d,%v)", h1, b1, i1, h2, b2, i2)
+	}
+}
+
+func TestCompressionPoliciesWriteFewerNVMBytes(t *testing.T) {
+	// BH writes whole frames; CP_SD writes compressed blocks. On the same
+	// mix, per NVM block write, CP_SD must average fewer bytes.
+	sBH := testSystem(t, policy.BH{}, nil, 0)
+	rBH := sBH.Run(500_000)
+	sCP := testSystem(t, policy.CARWR{}, hybrid.FixedThreshold(58), 0)
+	rCP := sCP.Run(500_000)
+	if rBH.LLC.NVMBlockWrites == 0 || rCP.LLC.NVMBlockWrites == 0 {
+		t.Skip("insufficient NVM traffic in window")
+	}
+	avgBH := float64(rBH.LLC.NVMBytesWritten) / float64(rBH.LLC.NVMBlockWrites)
+	avgCP := float64(rCP.LLC.NVMBytesWritten) / float64(rCP.LLC.NVMBlockWrites)
+	if avgBH != float64(nvm.FrameBytes) {
+		t.Errorf("BH average NVM write = %.1f bytes, want %d", avgBH, nvm.FrameBytes)
+	}
+	if avgCP >= avgBH {
+		t.Errorf("compressed writes (%.1f B) not smaller than BH (%.1f B)", avgCP, avgBH)
+	}
+}
+
+func TestLHybridStarvesNVMWithoutReuse(t *testing.T) {
+	// Under LHybrid, only LB blocks enter NVM, so NVM insertions must be
+	// a strict subset of BH's.
+	sLH := testSystem(t, policy.LHybrid{}, nil, 5)
+	rLH := sLH.Run(500_000)
+	sBH := testSystem(t, policy.BH{}, nil, 5)
+	rBH := sBH.Run(500_000)
+	if rLH.LLC.NVMBytesWritten >= rBH.LLC.NVMBytesWritten {
+		t.Errorf("LHybrid NVM bytes (%d) should be below BH (%d)",
+			rLH.LLC.NVMBytesWritten, rBH.LLC.NVMBytesWritten)
+	}
+}
+
+func TestTAPMoreConservativeThanLHybrid(t *testing.T) {
+	sTAP := testSystem(t, policy.TAP{HThresh: 1}, nil, 0)
+	rTAP := sTAP.Run(500_000)
+	sLH := testSystem(t, policy.LHybrid{}, nil, 0)
+	rLH := sLH.Run(500_000)
+	if rTAP.LLC.NVMBytesWritten > rLH.LLC.NVMBytesWritten {
+		t.Errorf("TAP NVM bytes (%d) exceed LHybrid (%d)",
+			rTAP.LLC.NVMBytesWritten, rLH.LLC.NVMBytesWritten)
+	}
+}
+
+func TestSRAMOnlyBoundsOrdering(t *testing.T) {
+	// 16-way SRAM is the performance upper bound; 4-way SRAM the lower.
+	mk := func(sram int) float64 {
+		apps, err := workload.NewMix(0, 1, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		llc := hybrid.New(hybrid.Config{
+			Sets: 256, SRAMWays: sram, NVMWays: 0,
+			Policy:  policy.SRAMOnly{},
+			Sampler: stats.NewRNG(5),
+		})
+		cfg := DefaultConfig()
+		s := New(cfg, llc, apps)
+		s.Run(200_000) // warm up
+		return s.Run(600_000).MeanIPC
+	}
+	up, low := mk(16), mk(4)
+	if up <= low {
+		t.Errorf("16w SRAM IPC (%.4f) should exceed 4w (%.4f)", up, low)
+	}
+}
+
+func TestWriteMarksVersionAndDirtiness(t *testing.T) {
+	s := testSystem(t, policy.CARWR{}, hybrid.FixedThreshold(37), 0)
+	r := s.Run(5_000_000)
+	if r.LLC.Writebacks == 0 && r.LLC.InPlaceUpdates == 0 {
+		t.Error("dirty data never reached the LLC or memory")
+	}
+}
+
+func TestRunStatsWindowed(t *testing.T) {
+	s := testSystem(t, policy.BH{}, nil, 0)
+	r1 := s.Run(200_000)
+	r2 := s.Run(200_000)
+	if r1.LLC.GetS == 0 || r2.LLC.GetS == 0 {
+		t.Fatal("windows lost traffic")
+	}
+	total := s.LLC().Stats.GetS
+	if r1.LLC.GetS+r2.LLC.GetS != total {
+		t.Errorf("windowed stats don't sum: %d + %d != %d", r1.LLC.GetS, r2.LLC.GetS, total)
+	}
+}
+
+func TestPanicsOnNoApps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with no apps did not panic")
+		}
+	}()
+	New(DefaultConfig(), testLLC(t, policy.BH{}, nil), nil)
+}
+
+func BenchmarkSystemStep(b *testing.B) {
+	apps, err := workload.NewMix(0, 1, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(DefaultConfig(), testLLC(b, policy.CARWR{}, hybrid.FixedThreshold(37)), apps)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step(s.cores[i%len(s.cores)])
+	}
+}
+
+func TestBankContention(t *testing.T) {
+	apps, err := workload.NewMix(0, 1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Banks = 4
+	s := New(cfg, testLLC(t, policy.BH{}, nil), apps)
+	s.Run(1_000_000)
+	if s.BankStallCycles == 0 {
+		t.Error("4 cores sharing 4 banks should experience some queueing")
+	}
+	// Disabled banking: no stalls, and IPC at least as high.
+	apps2, _ := workload.NewMix(0, 1, 0.25)
+	cfg.Banks = 0
+	s2 := New(cfg, testLLC(t, policy.BH{}, nil), apps2)
+	r2 := s2.Run(1_000_000)
+	if s2.BankStallCycles != 0 {
+		t.Error("disabled banking recorded stalls")
+	}
+	_ = r2
+}
+
+func TestBankAcquireSerializes(t *testing.T) {
+	apps, _ := workload.NewMix(0, 1, 0.25)
+	cfg := DefaultConfig()
+	cfg.Banks = 2
+	s := New(cfg, testLLC(t, policy.BH{}, nil), apps)
+	// Two back-to-back accesses to the same bank at the same time: the
+	// second waits for the first's occupancy.
+	if w := s.bankAcquire(0, 100, 8); w != 0 {
+		t.Fatalf("first access waited %d", w)
+	}
+	if w := s.bankAcquire(2, 100, 8); w != 8 { // block 2 -> bank 0 too
+		t.Fatalf("second access waited %d, want 8", w)
+	}
+	if w := s.bankAcquire(1, 100, 8); w != 0 { // bank 1 free
+		t.Fatalf("other bank waited %d", w)
+	}
+	if s.BankStallCycles != 8 {
+		t.Fatalf("stall cycles %d", s.BankStallCycles)
+	}
+}

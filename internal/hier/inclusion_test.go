@@ -1,0 +1,156 @@
+package hier
+
+import (
+	"testing"
+
+	"repro/internal/hybrid"
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+// checkInclusion verifies L1 ⊆ L2 for a core: every valid L1 line's block
+// must be present in L2 (the hierarchy maintains inclusive private levels
+// so L2 evictions can safely invalidate L1).
+func checkInclusion(t *testing.T, c *Core) {
+	t.Helper()
+	for set := 0; set < c.l1.Sets(); set++ {
+		for w := 0; w < c.l1.Ways(); w++ {
+			l := c.l1.Line(set, w)
+			if !l.Valid {
+				continue
+			}
+			if _, ok := c.l2.Lookup(l.Block); !ok {
+				t.Fatalf("L1 block %#x missing from L2 (inclusion broken)", l.Block)
+			}
+		}
+	}
+}
+
+func TestL1L2InclusionHolds(t *testing.T) {
+	s := testSystem(t, policy.CARWR{}, hybrid.FixedThreshold(58), 0)
+	for i := 0; i < 10; i++ {
+		s.Run(100_000)
+		for _, c := range s.Cores() {
+			checkInclusion(t, c)
+		}
+	}
+}
+
+func TestInclusionWithPrefetcher(t *testing.T) {
+	apps, err := workload.NewMix(1, 3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Prefetch = true
+	cfg.PrefetchDegree = 2
+	s := New(cfg, testLLC(t, policy.CARWR{}, hybrid.FixedThreshold(58)), apps)
+	for i := 0; i < 5; i++ {
+		s.Run(200_000)
+		for _, c := range s.Cores() {
+			checkInclusion(t, c)
+		}
+	}
+}
+
+// TestNoBlockInTwoPrivateCaches: address spaces are disjoint per core, so
+// no block may appear in two different cores' L2s.
+func TestNoBlockInTwoPrivateCaches(t *testing.T) {
+	s := testSystem(t, policy.BH{}, nil, 2)
+	s.Run(500_000)
+	seen := map[uint64]int{}
+	for ci, c := range s.Cores() {
+		for set := 0; set < c.l2.Sets(); set++ {
+			for w := 0; w < c.l2.Ways(); w++ {
+				l := c.l2.Line(set, w)
+				if !l.Valid {
+					continue
+				}
+				if prev, dup := seen[l.Block]; dup {
+					t.Fatalf("block %#x in cores %d and %d", l.Block, prev, ci)
+				}
+				seen[l.Block] = ci
+			}
+		}
+	}
+}
+
+// TestLoopBlockTagLifecycle: a block that is read, evicted to the LLC,
+// re-read (becoming LB), then stored to, must lose its LB tag in L2.
+func TestLoopBlockTagLifecycle(t *testing.T) {
+	apps, err := workload.NewMix(0, 1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llc := testLLC(t, policy.LHybrid{}, nil)
+	s := New(DefaultConfig(), llc, apps)
+	core0 := s.Cores()[0]
+	block := apps[0].Base() + 12345
+
+	// Fabricate the round trip directly: insert into LLC clean, read it
+	// (promotes to LB in the returned tag), store it into L2, then verify
+	// a store clears the LB bit.
+	llc.Insert(block, false, hybrid.BlockTag{}, nil)
+	res := llc.GetS(block)
+	if !res.Tag.LB {
+		t.Fatal("clean LLC read hit should promote to loop-block")
+	}
+	core0.l2.Insert(block, false, res.Tag.Pack())
+	s.clearLB(core0, block)
+	w, ok := core0.l2.Lookup(block)
+	if !ok {
+		t.Fatal("block missing from L2")
+	}
+	tag := hybrid.UnpackTag(core0.l2.Line(core0.l2.SetOf(block), w).Flags)
+	if tag.LB {
+		t.Fatal("store did not clear the loop-block tag")
+	}
+}
+
+// TestDirtyDataConservation: every store eventually surfaces as a dirty
+// line somewhere (L1, L2, LLC) or a memory writeback; with version
+// tracking, the content model's versions only advance on stores.
+func TestDirtyDataConservation(t *testing.T) {
+	s := testSystem(t, policy.CARWR{}, hybrid.FixedThreshold(58), 0)
+	r := s.Run(3_000_000)
+	// GetX transfers plus dirty L2 evictions must be reflected in LLC
+	// in-place updates, dirty inserts, or writebacks. Weak conservation
+	// check: the system performed stores (MemFetches>0 implies misses,
+	// and the workload writes), so some dirty traffic must exist.
+	var dirtyLines int
+	for _, c := range s.Cores() {
+		dirtyLines += int(c.l1.DirtyEvictions + c.l2.DirtyEvictions)
+		for set := 0; set < c.l2.Sets(); set++ {
+			for w := 0; w < c.l2.Ways(); w++ {
+				if l := c.l2.Line(set, w); l.Valid && l.Dirty {
+					dirtyLines++
+				}
+			}
+		}
+	}
+	if dirtyLines == 0 {
+		t.Fatal("no dirty lines anywhere despite a writing workload")
+	}
+	if r.LLC.GetX == 0 {
+		t.Fatal("no GetX traffic despite store misses")
+	}
+}
+
+// TestIPCDecreasesWithMemoryLatency: sanity of the timing model.
+func TestIPCDecreasesWithMemoryLatency(t *testing.T) {
+	run := func(mem int) float64 {
+		apps, err := workload.NewMix(0, 1, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Lat.Memory = mem
+		s := New(cfg, testLLC(t, policy.BH{}, nil), apps)
+		s.Run(300_000)
+		return s.Run(1_000_000).MeanIPC
+	}
+	fast, slow := run(60), run(400)
+	if fast <= slow {
+		t.Fatalf("IPC with 60-cycle memory (%.4f) should exceed 400-cycle (%.4f)", fast, slow)
+	}
+}

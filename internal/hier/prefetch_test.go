@@ -1,0 +1,106 @@
+package hier
+
+import (
+	"testing"
+
+	"repro/internal/hybrid"
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+func TestStrideDetection(t *testing.T) {
+	p := newPrefetcher(16, 2)
+	base := uint64(1000)
+	var targets []uint64
+	for i := uint64(0); i < 6; i++ {
+		targets = p.observe(base + i)
+	}
+	if len(targets) != 2 {
+		t.Fatalf("confirmed stream issued %d prefetches, want 2", len(targets))
+	}
+	if targets[0] != base+6 || targets[1] != base+7 {
+		t.Fatalf("targets %v, want next blocks of the stream", targets)
+	}
+}
+
+func TestStrideNegative(t *testing.T) {
+	p := newPrefetcher(16, 1)
+	base := uint64(5050) // stays inside one 4 KB region while stepping down
+	var targets []uint64
+	for i := 0; i < 6; i++ {
+		targets = p.observe(base - uint64(i*2))
+	}
+	if len(targets) != 1 || targets[0] != base-12 {
+		t.Fatalf("negative stride targets %v", targets)
+	}
+}
+
+func TestNoPrefetchWithoutConfirmation(t *testing.T) {
+	p := newPrefetcher(16, 1)
+	// Random-looking pattern within a region: strides never repeat.
+	blocks := []uint64{100, 103, 101, 110, 102}
+	for _, b := range blocks {
+		if got := p.observe(b); got != nil {
+			t.Fatalf("unconfirmed stream prefetched %v", got)
+		}
+	}
+}
+
+func TestZeroStrideIgnored(t *testing.T) {
+	p := newPrefetcher(16, 1)
+	for i := 0; i < 5; i++ {
+		if got := p.observe(42); got != nil {
+			t.Fatal("repeated same-block accesses must not prefetch")
+		}
+	}
+}
+
+func TestPrefetcherEndToEnd(t *testing.T) {
+	apps, err := workload.NewMix(0, 1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Prefetch = true
+	cfg.PrefetchDegree = 2
+	s := New(cfg, testLLC(t, policy.TAP{HThresh: 1}, nil), apps)
+	s.Run(2_000_000)
+	var issued, fills, useful uint64
+	for _, c := range s.Cores() {
+		pf := c.Prefetcher()
+		if pf == nil {
+			t.Fatal("prefetcher not installed")
+		}
+		issued += pf.Issued
+		fills += pf.Fills
+		useful += pf.Useful
+	}
+	if issued == 0 {
+		t.Fatal("streaming workloads should trigger prefetches")
+	}
+	if fills == 0 || fills > issued {
+		t.Fatalf("fills=%d issued=%d", fills, issued)
+	}
+	if useful == 0 {
+		t.Error("no prefetch was ever useful; stride streams should hit")
+	}
+	if err := s.LLC().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchTagBit(t *testing.T) {
+	tag := hybrid.BlockTag{Prefetched: true, Reuse: hybrid.ReuseRead, Hits: 3}
+	got := hybrid.UnpackTag(tag.Pack())
+	if !got.Prefetched || got.Reuse != hybrid.ReuseRead || got.Hits != 3 {
+		t.Fatalf("tag roundtrip %+v", got)
+	}
+}
+
+func TestPrefetcherOffByDefault(t *testing.T) {
+	apps, _ := workload.NewMix(0, 1, 0.25)
+	s := New(DefaultConfig(), testLLC(t, policy.BH{}, nil), apps)
+	if s.Cores()[0].Prefetcher() != nil {
+		t.Fatal("prefetcher should be nil when disabled")
+	}
+}

@@ -1,0 +1,199 @@
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bdi"
+	"repro/internal/ecc"
+	"repro/internal/nvm"
+)
+
+// This file implements the complete NVM block write and read data path of
+// Fig. 5: compression, extended-compressed-block (ECB) formation with the
+// 4-bit CE field and the (527,516) SECDED code, scattering over the
+// frame's live bytes via the rearrangement circuitry, and the inverse read
+// path with single-error correction. The performance simulator accounts
+// sizes and wear without materialising bytes; DataPath is the functional
+// reference used by integration tests, fault-injection studies and the
+// examples, and it is what a hardware implementation would realise.
+
+// ErrUncorrectable is returned when SECDED detects a multi-bit error; the
+// microarchitecture reacts by disabling the frame (§III-B).
+var ErrUncorrectable = errors.New("hybrid: uncorrectable NVM error")
+
+// StoredBlock is the physical image of one compressed block inside an NVM
+// frame: the scattered RECB plus the write mask used for selective
+// writing. The CE and SECDED bits travel inside the ECB payload.
+type StoredBlock struct {
+	RECB    [nvm.FrameBytes]byte
+	Mask    nvm.FaultMap // positions actually written (selective write mask)
+	FMap    nvm.FaultMap // frame fault map at write time (drives the gather)
+	ECBLen  int
+	Counter int // wear-leveling counter at write time
+}
+
+// DataPath bundles the compressor and SECDED code of the NVM pipeline.
+type DataPath struct {
+	code *ecc.Code
+}
+
+// NewDataPath builds the reference data path with the paper's (527,516)
+// SECDED code.
+func NewDataPath() *DataPath {
+	return &DataPath{code: ecc.NVMData()}
+}
+
+// ecbBytes is the ECB size for a given compressed payload: CB plus the
+// 2-byte metadata region holding CE (4 bits) and SECDED (11 bits).
+func ecbBytes(cbSize int) int { return cbSize + nvm.MetaBytes }
+
+// WriteBlock compresses a 64-byte block, forms the ECB and scatters it
+// over the frame's live bytes at the current wear-leveling counter. It
+// fails if the frame cannot hold the compressed block.
+func (d *DataPath) WriteBlock(block []byte, f *nvm.Frame, counter int) (StoredBlock, error) {
+	var out StoredBlock
+	c := bdi.Compress(block)
+	if !f.Fits(c.Size()) {
+		return out, fmt.Errorf("hybrid: %v block (%dB) does not fit frame capacity %d",
+			c.Enc, c.Size(), f.EffectiveCapacity())
+	}
+	ecb := d.formECB(c)
+	fmap := f.FaultMap()
+	recb, mask, err := nvm.Scatter(ecb, fmap, counter)
+	if err != nil {
+		return out, err
+	}
+	out.RECB = recb
+	out.Mask = mask
+	out.FMap = fmap
+	out.ECBLen = len(ecb)
+	out.Counter = counter
+	f.RecordWrite(len(ecb))
+	return out, nil
+}
+
+// formECB lays out the extended compressed block:
+//
+//	byte 0:            CE (4 bits, low nibble) | SECDED bits 0-3 (high nibble)
+//	byte 1:            SECDED bits 4-10 (7 bits, bit 7 zero)
+//	bytes 2..2+|CB|-1: compressed payload
+//
+// The SECDED code protects 516 bits: the CE nibble plus the CB padded with
+// zeros to 512 bits, exactly as in §III-B1.
+func (d *DataPath) formECB(c bdi.Compressed) []byte {
+	data := make([]byte, 65) // 516 bits: 4 CE + 512 block
+	data[0] = uint8(c.Enc) & 0x0F
+	for i, v := range c.Data {
+		// Payload starts at bit 4.
+		data[i] |= v << 4
+		data[i+1] = v >> 4
+	}
+	w := d.code.Encode(data)
+	check := extractCheckBits(w, d.code)
+	ecb := make([]byte, ecbBytes(c.Size()))
+	ecb[0] = uint8(c.Enc)&0x0F | (uint8(check)&0x0F)<<4
+	ecb[1] = uint8(check >> 4)
+	copy(ecb[2:], c.Data)
+	return ecb
+}
+
+// extractCheckBits collects the Hamming check bits plus overall parity
+// into an 11-bit integer.
+func extractCheckBits(w *ecc.Codeword, code *ecc.Code) uint16 {
+	var bits uint16
+	n := 0
+	bits |= uint16(w.Bit(0)) << n // overall parity
+	n++
+	for k := 0; (1 << uint(k)) <= code.DataBits()+code.CheckBits(); k++ {
+		bits |= uint16(w.Bit(1<<uint(k))) << n
+		n++
+	}
+	return bits
+}
+
+// ReadBlock gathers the ECB back from the stored frame image using the
+// fault map recorded at write time, verifies and corrects it with SECDED,
+// and decompresses the payload. Bytes that failed after the write surface
+// as bit errors, which is exactly what SECDED catches.
+func (d *DataPath) ReadBlock(st StoredBlock) ([]byte, ecc.Status, error) {
+	ecb, err := nvm.Gather(st.RECB, st.FMap, st.Counter, st.ECBLen)
+	if err != nil {
+		return nil, ecc.Detected, err
+	}
+	enc := bdi.Encoding(ecb[0] & 0x0F)
+	check := uint16(ecb[0]>>4) | uint16(ecb[1])<<4
+	cb := ecb[2:]
+
+	// Rebuild the 516-bit data vector and codeword.
+	data := make([]byte, 65)
+	data[0] = uint8(enc) & 0x0F
+	for i, v := range cb {
+		data[i] |= v << 4
+		data[i+1] = v >> 4
+	}
+	w := d.code.Encode(data)
+	// Replace the computed check bits with the stored ones; a mismatch is
+	// an error syndrome.
+	stored := check
+	n := 0
+	setBit := func(pos int, v uint16) {
+		if w.Bit(pos) != int(v&1) {
+			w.FlipBit(pos)
+		}
+	}
+	setBit(0, stored>>n)
+	n++
+	for k := 0; (1 << uint(k)) <= d.code.DataBits()+d.code.CheckBits(); k++ {
+		setBit(1<<uint(k), stored>>n)
+		n++
+	}
+	corrected, status, _ := d.code.Decode(w)
+	if status == ecc.Detected {
+		return nil, status, ErrUncorrectable
+	}
+	// Extract CE and payload from the (possibly corrected) data bits.
+	encC := bdi.Encoding(corrected[0] & 0x0F)
+	if !bdi.Valid(encC) {
+		return nil, ecc.Detected, fmt.Errorf("hybrid: corrupt CE field %d", encC)
+	}
+	spec := bdi.SpecOf(encC)
+	payload := make([]byte, spec.Size)
+	for i := range payload {
+		payload[i] = corrected[i]>>4 | corrected[i+1]<<4
+	}
+	blockBytes, err := bdi.Decompress(bdi.Compressed{Enc: encC, Data: payload})
+	if err != nil {
+		return nil, status, err
+	}
+	return blockBytes, status, nil
+}
+
+// MeaningfulBits returns the number of information-carrying bits in the
+// stored image: 4 CE + 11 SECDED + 8 per payload byte. Bit 15 of the ECB
+// (the high bit of the second metadata byte) is an unwritten filler
+// bitcell and carries nothing.
+func (st *StoredBlock) MeaningfulBits() int { return st.ECBLen*8 - 1 }
+
+// FlipStoredBit injects a single-bit error into a stored block's physical
+// image (fault-injection hook for tests and wear studies). i indexes the
+// meaningful bits of the ECB in order (see MeaningfulBits); the filler bit
+// is skipped because hardware never senses it. The physical location is
+// found through the same index vector the crossbar uses, so rotation and
+// faulty-byte skips are honoured.
+func (st *StoredBlock) FlipStoredBit(i int) {
+	if i >= 15 {
+		i++ // skip the unused filler bit at ECB bit position 15
+	}
+	iv, err := nvm.BuildIndexVector(st.FMap, st.Counter, st.ECBLen)
+	if err != nil {
+		return // stored image inconsistent; nothing sensible to flip
+	}
+	byteIdx := i / 8
+	for pos, k := range iv {
+		if k == byteIdx {
+			st.RECB[pos] ^= 1 << (uint(i) % 8)
+			return
+		}
+	}
+}

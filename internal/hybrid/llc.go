@@ -1,0 +1,745 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"repro/internal/bdi"
+	"repro/internal/nvm"
+)
+
+// Config describes an LLC instance.
+type Config struct {
+	Sets     int
+	SRAMWays int
+	NVMWays  int
+	Policy   Policy
+	// Thresholds supplies per-set CPth values; use FixedThreshold for CA
+	// and CA_RWR, a dueling.Controller for CP_SD. May be nil when the
+	// policy does not consult thresholds.
+	Thresholds ThresholdProvider
+	Endurance  nvm.EnduranceModel
+	Sampler    nvm.Sampler
+
+	// HCROnly ablates the paper's modified BDI back to the original one:
+	// low-compression-ratio encodings are discarded, so blocks that only
+	// compress above the HCR limit are stored uncompressed (§II-B argues
+	// keeping LCR encodings; this flag quantifies that choice).
+	HCROnly bool
+
+	// NoGetXInvalidate ablates the invalidate-on-GetX-hit coherence flow
+	// of §III-A: the LLC keeps its (now stale) copy, and the dirty block
+	// overwrites it in place when evicted from L2.
+	NoGetXInvalidate bool
+
+	// MaterializeData runs the full Fig-5 data path (SECDED + scatter)
+	// for every NVM block, verifying reads bit-exactly. Validation mode:
+	// roughly 10x slower. Requires a compressing policy.
+	MaterializeData bool
+
+	// NVMReplacement selects the victim-choice scheme inside the NVM
+	// part. The paper uses (Fit-)LRU; FitRRIP is an extension using
+	// 2-bit re-reference prediction values (SRRIP), which resists
+	// thrashing better on scan-heavy workloads.
+	NVMReplacement Replacement
+}
+
+// Replacement selects the NVM-part victim scheme.
+type Replacement uint8
+
+// Replacement schemes.
+const (
+	// FitLRU is the paper's scheme: LRU among fitting frames (§III-B1).
+	FitLRU Replacement = iota
+	// FitRRIP is SRRIP restricted to fitting frames: insert at RRPV 2,
+	// promote to 0 on hit, evict the first fitting entry with RRPV 3,
+	// aging all candidates when none qualifies.
+	FitRRIP
+)
+
+// String names the scheme.
+func (r Replacement) String() string {
+	switch r {
+	case FitLRU:
+		return "fit-LRU"
+	case FitRRIP:
+		return "fit-RRIP"
+	}
+	return fmt.Sprintf("Replacement(%d)", uint8(r))
+}
+
+// Stats aggregates LLC activity counters. All counters are cumulative
+// until ResetStats.
+type Stats struct {
+	GetS, GetX        uint64 // requests from the private levels
+	Hits, Misses      uint64
+	SRAMHits          uint64
+	NVMHits           uint64
+	Inserts           uint64
+	SRAMInserts       uint64
+	NVMInserts        uint64
+	NVMBlockWrites    uint64 // block writes into NVM frames (inserts + updates)
+	NVMBytesWritten   uint64 // ECB bytes written into NVM frames
+	Migrations        uint64 // SRAM->NVM migrations (CA_RWR / LHybrid)
+	Writebacks        uint64 // dirty LLC evictions sent to memory
+	NVMFallbacks      uint64 // NVM-targeted blocks placed in SRAM for lack of fit
+	InPlaceUpdates    uint64 // dirty L2 evictions updating an existing LLC copy
+	InsertHCR         uint64 // inserted blocks by compression class
+	InsertLCR         uint64
+	InsertIncomp      uint64
+	InvalidatedOnGetX uint64
+	// DataPathErrors counts materialized-mode verification failures;
+	// always zero for a correct data path.
+	DataPathErrors uint64
+}
+
+// HitRate returns hits over total requests.
+func (s *Stats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+type entry struct {
+	valid bool
+	dirty bool
+	block uint64
+	cb    uint8 // compressed size of the stored block
+	rrpv  uint8 // re-reference prediction value (RRIP NVM replacement)
+	tag   BlockTag
+	last  uint64
+}
+
+// LLC is the hybrid last-level cache. Ways [0, SRAMWays) are SRAM;
+// ways [SRAMWays, SRAMWays+NVMWays) map to NVM frames.
+type LLC struct {
+	sets, sramWays, nvmWays int
+	entries                 []entry
+	arr                     *nvm.Array
+	pol                     Policy
+	thr                     ThresholdProvider
+	tick                    uint64
+	hcrOnly                 bool
+	noGetXInval             bool
+	data                    *dataStore
+	nvmRepl                 Replacement
+
+	Stats Stats
+}
+
+// AccessResult reports the outcome of a GetS/GetX request.
+type AccessResult struct {
+	Hit   bool
+	Part  Partition // where the block was found (valid on hit)
+	Dirty bool      // for GetX hits: ownership of dirty data moves to L2
+	Tag   BlockTag  // updated tag to be stored alongside the block in L2
+}
+
+// InsertOutcome reports what an Insert did, so the hierarchy's timing
+// model can account bank/write-port occupancy.
+type InsertOutcome struct {
+	Wrote bool      // a data-array write happened (fresh fill or dirty update)
+	Part  Partition // which partition was written
+}
+
+// New builds an LLC.
+func New(cfg Config) *LLC {
+	if cfg.Sets <= 0 || cfg.SRAMWays < 0 || cfg.NVMWays < 0 || cfg.SRAMWays+cfg.NVMWays == 0 {
+		panic(fmt.Sprintf("hybrid: invalid geometry %d sets, %d+%d ways",
+			cfg.Sets, cfg.SRAMWays, cfg.NVMWays))
+	}
+	if cfg.Policy == nil {
+		panic("hybrid: nil policy")
+	}
+	thr := cfg.Thresholds
+	if thr == nil {
+		thr = FixedThreshold(bdi.BlockSize)
+	}
+	l := &LLC{
+		sets:        cfg.Sets,
+		sramWays:    cfg.SRAMWays,
+		nvmWays:     cfg.NVMWays,
+		entries:     make([]entry, cfg.Sets*(cfg.SRAMWays+cfg.NVMWays)),
+		pol:         cfg.Policy,
+		thr:         thr,
+		hcrOnly:     cfg.HCROnly,
+		noGetXInval: cfg.NoGetXInvalidate,
+		nvmRepl:     cfg.NVMReplacement,
+	}
+	if cfg.NVMWays > 0 {
+		l.arr = nvm.NewArray(cfg.Sets, cfg.NVMWays, cfg.Endurance, cfg.Sampler, cfg.Policy.Granularity())
+	}
+	if cfg.MaterializeData {
+		if cfg.NVMWays == 0 {
+			panic("hybrid: MaterializeData needs NVM ways")
+		}
+		l.initMaterialize()
+	}
+	return l
+}
+
+// Sets returns the number of sets.
+func (l *LLC) Sets() int { return l.sets }
+
+// SRAMWays returns the number of SRAM ways per set.
+func (l *LLC) SRAMWays() int { return l.sramWays }
+
+// NVMWays returns the number of NVM ways per set.
+func (l *LLC) NVMWays() int { return l.nvmWays }
+
+// Policy returns the insertion policy in use.
+func (l *LLC) Policy() Policy { return l.pol }
+
+// Thresholds returns the threshold provider in use.
+func (l *LLC) Thresholds() ThresholdProvider { return l.thr }
+
+// Array returns the NVM array (nil for SRAM-only configurations); the
+// forecast procedure ages it between simulation phases.
+func (l *LLC) Array() *nvm.Array { return l.arr }
+
+// CompressionEnabled reports whether insertions need block contents.
+func (l *LLC) CompressionEnabled() bool { return l.pol.Compressed() }
+
+// SetOf maps a block address to its set.
+func (l *LLC) SetOf(block uint64) int { return int(block % uint64(l.sets)) }
+
+func (l *LLC) ways() int { return l.sramWays + l.nvmWays }
+
+func (l *LLC) entryAt(set, way int) *entry { return &l.entries[set*l.ways()+way] }
+
+func (l *LLC) partOf(way int) Partition {
+	if way < l.sramWays {
+		return SRAM
+	}
+	return NVM
+}
+
+func (l *LLC) frameOf(set, way int) *nvm.Frame {
+	return l.arr.Frame(set, way-l.sramWays)
+}
+
+func (l *LLC) touch(e *entry) {
+	l.tick++
+	e.last = l.tick
+}
+
+func (l *LLC) find(block uint64) (set, way int, e *entry) {
+	set = l.SetOf(block)
+	for w := 0; w < l.ways(); w++ {
+		c := l.entryAt(set, w)
+		if c.valid && c.block == block {
+			return set, w, c
+		}
+	}
+	return set, -1, nil
+}
+
+// GetS handles a read request from a private level that missed in L2.
+// On a hit the block stays in the LLC; its tag is updated per §IV-B
+// (read-reuse if clean, write-reuse if dirty; LHybrid LB promotion on clean
+// hits; TAP hit counter).
+func (l *LLC) GetS(block uint64) AccessResult {
+	l.Stats.GetS++
+	set, way, e := l.find(block)
+	if e == nil {
+		l.Stats.Misses++
+		return AccessResult{}
+	}
+	l.Stats.Hits++
+	l.thr.RecordHit(set)
+	part := l.partOf(way)
+	if part == SRAM {
+		l.Stats.SRAMHits++
+	} else {
+		l.Stats.NVMHits++
+	}
+	l.verifyMaterialized(set, way)
+	if e.dirty {
+		e.tag.Reuse = ReuseWrite
+	} else {
+		e.tag.Reuse = ReuseRead
+		e.tag.LB = true // LHybrid: clean read-hit promotes to loop-block
+	}
+	if e.tag.Hits < 7 {
+		e.tag.Hits++
+	}
+	e.rrpv = 0 // RRIP: near-immediate re-reference
+	l.touch(e)
+	return AccessResult{Hit: true, Part: part, Tag: e.tag}
+}
+
+// GetX handles a request with write permission. A hit returns the block to
+// the private levels and invalidates the LLC copy (§III-A); the block is
+// tagged write-reused and loses its loop-block status.
+func (l *LLC) GetX(block uint64) AccessResult {
+	l.Stats.GetX++
+	set, way, e := l.find(block)
+	if e == nil {
+		l.Stats.Misses++
+		return AccessResult{}
+	}
+	l.Stats.Hits++
+	l.thr.RecordHit(set)
+	part := l.partOf(way)
+	if part == SRAM {
+		l.Stats.SRAMHits++
+	} else {
+		l.Stats.NVMHits++
+	}
+	l.verifyMaterialized(set, way)
+	tag := e.tag
+	tag.Reuse = ReuseWrite
+	tag.LB = false
+	if tag.Hits < 7 {
+		tag.Hits++
+	}
+	res := AccessResult{Hit: true, Part: part, Dirty: e.dirty, Tag: tag}
+	if l.noGetXInval {
+		// Ablation: keep the (stale) copy; the private levels own the
+		// dirty data and will overwrite it on eviction.
+		e.tag = tag
+		e.dirty = false
+		l.touch(e)
+		return res
+	}
+	l.Stats.InvalidatedOnGetX++
+	l.clearMaterialized(set, way)
+	*e = entry{}
+	return res
+}
+
+// Insert handles a block evicted from L2 (clean or dirty). content provides
+// the block's bytes for compression; it may be nil when the policy does not
+// compress, in which case the block is treated as stored uncompressed.
+// Non-inclusive flow (§III-A): if the block is already present and the
+// incoming copy is clean, nothing happens; if dirty, the LLC copy is
+// updated in place.
+func (l *LLC) Insert(block uint64, dirty bool, tag BlockTag, content []byte) InsertOutcome {
+	set, way, e := l.find(block)
+	cb := bdi.BlockSize
+	if l.pol.Compressed() && content != nil {
+		cb = bdi.CompressedSize(content)
+		if l.hcrOnly && cb > bdi.HCRLimit {
+			cb = bdi.BlockSize // original BDI: LCR encodings discarded
+		}
+	}
+	if e != nil {
+		if !dirty {
+			return InsertOutcome{} // already present and up to date
+		}
+		l.updateInPlace(set, way, e, dirty, tag, cb, content)
+		return InsertOutcome{Wrote: true, Part: l.partOf(way)}
+	}
+	l.Stats.Inserts++
+	switch {
+	case cb <= bdi.HCRLimit && l.pol.Compressed():
+		l.Stats.InsertHCR++
+	case cb < bdi.BlockSize && l.pol.Compressed():
+		l.Stats.InsertLCR++
+	default:
+		l.Stats.InsertIncomp++
+	}
+	nvmBefore := l.Stats.NVMInserts
+	l.insertFresh(set, block, dirty, tag, cb, content)
+	if l.Stats.NVMInserts > nvmBefore {
+		return InsertOutcome{Wrote: true, Part: NVM}
+	}
+	return InsertOutcome{Wrote: true, Part: SRAM}
+}
+
+// insertFresh runs the policy's steering decision and places a block that
+// is not currently in the LLC.
+func (l *LLC) insertFresh(set int, block uint64, dirty bool, tag BlockTag, cb int, content []byte) {
+	info := InsertInfo{Set: set, Dirty: dirty, CBSize: cb, Tag: tag}
+	if l.pol.UsesThreshold() {
+		info.CPth = l.thr.CPthFor(set)
+	}
+	if l.pol.Global() {
+		l.insertGlobal(set, block, dirty, tag, cb, content)
+		return
+	}
+	if l.pol.Target(info) == NVM && l.nvmWays > 0 {
+		if l.insertNVM(set, block, dirty, tag, cb, content) {
+			return
+		}
+		l.Stats.NVMFallbacks++ // no NVM frame fits: place in SRAM (§IV-B)
+	}
+	l.insertSRAM(set, block, dirty, tag, cb, content)
+}
+
+// updateInPlace rewrites an existing LLC copy with fresh dirty data. If the
+// block now compresses to a size that no longer fits its NVM frame, it is
+// reinserted through the normal policy path.
+func (l *LLC) updateInPlace(set, way int, e *entry, dirty bool, tag BlockTag, cb int, content []byte) {
+	if l.partOf(way) == NVM {
+		f := l.frameOf(set, way)
+		if !f.Fits(cb) {
+			// The rewritten block no longer fits its aged frame: reinsert
+			// through the normal policy path.
+			block := e.block
+			*e = entry{}
+			l.clearMaterialized(set, way)
+			l.Stats.Inserts++
+			l.insertFresh(set, block, dirty, tag, cb, content)
+			return
+		}
+		l.recordNVMWrite(set, f, cb)
+	}
+	l.rememberContent(set, way, content)
+	l.Stats.InPlaceUpdates++
+	e.dirty = true
+	e.cb = uint8(cb)
+	e.tag = tag
+	l.touch(e)
+}
+
+func (l *LLC) recordNVMWrite(set int, f *nvm.Frame, cb int) {
+	ecb := cb + nvm.MetaBytes
+	if l.data == nil {
+		f.RecordWrite(ecb) // in materialized mode the data path wears the frame
+	}
+	l.Stats.NVMBlockWrites++
+	l.Stats.NVMBytesWritten += uint64(ecb)
+	l.thr.RecordNVMBytes(set, ecb)
+}
+
+// insertNVM places the block into an NVM frame using the configured
+// fit-constrained replacement: the victim is chosen among frames whose
+// effective capacity fits the compressed block (§III-B1). Returns false
+// when no frame fits.
+func (l *LLC) insertNVM(set int, block uint64, dirty bool, tag BlockTag, cb int, content []byte) bool {
+	victim := l.chooseNVMVictim(set, cb)
+	if victim < 0 {
+		return false
+	}
+	l.evict(set, victim)
+	e := l.entryAt(set, victim)
+	*e = entry{valid: true, dirty: dirty, block: block, cb: uint8(cb), tag: tag, rrpv: 2}
+	l.touch(e)
+	l.Stats.NVMInserts++
+	l.recordNVMWrite(set, l.frameOf(set, victim), cb)
+	l.rememberContent(set, victim, content)
+	return true
+}
+
+// chooseNVMVictim picks the NVM way to fill for a cb-sized block, or -1
+// when no frame fits.
+func (l *LLC) chooseNVMVictim(set, cb int) int {
+	switch l.nvmRepl {
+	case FitRRIP:
+		return l.chooseNVMVictimRRIP(set, cb)
+	default:
+		victim := -1
+		victimTick := ^uint64(0)
+		for w := l.sramWays; w < l.ways(); w++ {
+			if !l.frameOf(set, w).Fits(cb) {
+				continue
+			}
+			e := l.entryAt(set, w)
+			if !e.valid {
+				return w
+			}
+			if e.last < victimTick {
+				victim, victimTick = w, e.last
+			}
+		}
+		return victim
+	}
+}
+
+// chooseNVMVictimRRIP implements SRRIP over the fitting frames: prefer an
+// invalid way, then the first fitting entry with RRPV 3; if none, age
+// every fitting entry and retry.
+func (l *LLC) chooseNVMVictimRRIP(set, cb int) int {
+	anyFit := false
+	for w := l.sramWays; w < l.ways(); w++ {
+		if l.frameOf(set, w).Fits(cb) {
+			anyFit = true
+			if !l.entryAt(set, w).valid {
+				return w
+			}
+		}
+	}
+	if !anyFit {
+		return -1
+	}
+	for {
+		for w := l.sramWays; w < l.ways(); w++ {
+			if !l.frameOf(set, w).Fits(cb) {
+				continue
+			}
+			if l.entryAt(set, w).rrpv >= 3 {
+				return w
+			}
+		}
+		for w := l.sramWays; w < l.ways(); w++ {
+			if l.frameOf(set, w).Fits(cb) {
+				if e := l.entryAt(set, w); e.valid && e.rrpv < 3 {
+					e.rrpv++
+				}
+			}
+		}
+	}
+}
+
+// insertSRAM places the block into an SRAM way, applying the policy's
+// migration behaviour when a victim must be chosen.
+func (l *LLC) insertSRAM(set int, block uint64, dirty bool, tag BlockTag, cb int, content []byte) {
+	if l.sramWays == 0 {
+		// Degenerate configuration (NVM-only): retry NVM ignoring the
+		// policy target; if nothing fits the block bypasses the LLC.
+		l.insertNVM(set, block, dirty, tag, cb, content)
+		return
+	}
+	way := -1
+	for w := 0; w < l.sramWays; w++ {
+		if !l.entryAt(set, w).valid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		way = l.chooseSRAMVictim(set)
+		v := l.entryAt(set, way)
+		migrated := false
+		switch {
+		case l.pol.LHybridMigrate() && v.tag.LB:
+			migrated = l.migrate(set, way)
+		case l.pol.MigrateReadReuse() && v.tag.Reuse == ReuseRead:
+			migrated = l.migrate(set, way)
+		}
+		if !migrated {
+			l.evict(set, way)
+		}
+	}
+	e := l.entryAt(set, way)
+	*e = entry{valid: true, dirty: dirty, block: block, cb: uint8(cb), tag: tag}
+	l.touch(e)
+	l.Stats.SRAMInserts++
+	l.rememberContent(set, way, content)
+}
+
+// chooseSRAMVictim picks the SRAM way to vacate. For LHybrid the most
+// recent loop-block is preferred (it is migrated, not evicted); otherwise
+// the LRU way is chosen.
+func (l *LLC) chooseSRAMVictim(set int) int {
+	if l.pol.LHybridMigrate() {
+		best, bestTick := -1, uint64(0)
+		for w := 0; w < l.sramWays; w++ {
+			e := l.entryAt(set, w)
+			if e.valid && e.tag.LB && e.last >= bestTick {
+				best, bestTick = w, e.last
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	lru, lruTick := 0, ^uint64(0)
+	for w := 0; w < l.sramWays; w++ {
+		if e := l.entryAt(set, w); e.last < lruTick {
+			lru, lruTick = w, e.last
+		}
+	}
+	return lru
+}
+
+// migrate moves the entry at (set, way) from SRAM into the NVM part,
+// freeing the way. Returns false (entry evicted normally) when the block
+// fits no NVM frame.
+func (l *LLC) migrate(set, way int) bool {
+	e := l.entryAt(set, way)
+	cb := int(e.cb)
+	if !l.pol.Compressed() {
+		cb = bdi.BlockSize
+	}
+	content := l.contentAt(set, way)
+	if l.nvmWays == 0 || !l.insertNVM(set, e.block, e.dirty, e.tag, cb, content) {
+		return false
+	}
+	l.Stats.Migrations++
+	l.clearMaterialized(set, way)
+	*e = entry{}
+	return true
+}
+
+// evict clears (set, way), writing dirty data back to memory.
+func (l *LLC) evict(set, way int) {
+	e := l.entryAt(set, way)
+	if e.valid && e.dirty {
+		l.Stats.Writebacks++
+	}
+	l.clearMaterialized(set, way)
+	*e = entry{}
+}
+
+// insertGlobal implements the NVM-unaware BH/BH_CP replacement: one
+// (Fit-)LRU list across both parts. The victim is the LRU entry among the
+// frames the incoming block fits in; SRAM frames always fit.
+func (l *LLC) insertGlobal(set int, block uint64, dirty bool, tag BlockTag, cb int, content []byte) {
+	victim := -1
+	victimTick := ^uint64(0)
+	for w := 0; w < l.ways(); w++ {
+		if l.partOf(w) == NVM && !l.frameOf(set, w).Fits(cb) {
+			continue
+		}
+		e := l.entryAt(set, w)
+		if !e.valid {
+			victim = w
+			break
+		}
+		if e.last < victimTick {
+			victim, victimTick = w, e.last
+		}
+	}
+	if victim < 0 {
+		return // nothing fits anywhere: bypass
+	}
+	l.evict(set, victim)
+	e := l.entryAt(set, victim)
+	*e = entry{valid: true, dirty: dirty, block: block, cb: uint8(cb), tag: tag}
+	l.touch(e)
+	if l.partOf(victim) == NVM {
+		l.Stats.NVMInserts++
+		l.recordNVMWrite(set, l.frameOf(set, victim), cb)
+	} else {
+		l.Stats.SRAMInserts++
+	}
+	l.rememberContent(set, victim, content)
+}
+
+// InvalidateUnfit drops NVM-resident entries whose frame can no longer
+// hold them (the frame died or shrank below the stored compressed size).
+// The forecast procedure calls this after aging the array between phases;
+// dirty casualties are counted as writebacks (scrubbed to memory before
+// the frame is disabled). It returns the number of entries dropped.
+func (l *LLC) InvalidateUnfit() int {
+	if l.arr == nil {
+		return 0
+	}
+	dropped := 0
+	for set := 0; set < l.sets; set++ {
+		for w := l.sramWays; w < l.ways(); w++ {
+			e := l.entryAt(set, w)
+			if !e.valid {
+				continue
+			}
+			if !l.frameOf(set, w).Fits(int(e.cb)) {
+				if e.dirty {
+					l.Stats.Writebacks++
+				}
+				l.clearMaterialized(set, w)
+				*e = entry{}
+				dropped++
+			}
+		}
+	}
+	return dropped
+}
+
+// RotateNVMSets advances the NVM array's inter-set wear-leveling rotation
+// by n rows and flushes all NVM-resident entries, whose physical frames
+// have changed (the hardware scheme migrates the lines; we model the
+// migration as a refill, writing dirty casualties back to memory). It
+// returns the number of entries flushed.
+func (l *LLC) RotateNVMSets(n int) int {
+	if l.arr == nil || n == 0 {
+		return 0
+	}
+	l.arr.AdvanceSetRemap(n)
+	flushed := 0
+	for set := 0; set < l.sets; set++ {
+		for w := l.sramWays; w < l.ways(); w++ {
+			e := l.entryAt(set, w)
+			if !e.valid {
+				continue
+			}
+			if e.dirty {
+				l.Stats.Writebacks++
+			}
+			l.clearMaterialized(set, w)
+			*e = entry{}
+			flushed++
+		}
+	}
+	return flushed
+}
+
+// EndEpoch forwards the epoch boundary to the threshold provider.
+func (l *LLC) EndEpoch() { l.thr.EndEpoch() }
+
+// ResetStats clears the statistics block.
+func (l *LLC) ResetStats() { l.Stats = Stats{} }
+
+// EffectiveCapacityFraction returns the NVM part's remaining capacity
+// fraction (1.0 for SRAM-only configurations).
+func (l *LLC) EffectiveCapacityFraction() float64 {
+	if l.arr == nil {
+		return 1
+	}
+	return l.arr.EffectiveCapacityFraction()
+}
+
+// Occupancy returns the number of valid entries in a set, for tests.
+func (l *LLC) Occupancy(set int) int {
+	n := 0
+	for w := 0; w < l.ways(); w++ {
+		if l.entryAt(set, w).valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports whether a block is present, for tests.
+func (l *LLC) Contains(block uint64) bool {
+	_, _, e := l.find(block)
+	return e != nil
+}
+
+// CheckInvariants verifies the LLC's structural invariants: no duplicate
+// blocks, correct set mapping, statistics consistency, and (after an
+// InvalidateUnfit pass) every NVM-resident block fitting its frame. It is
+// exported for integration tests and returns the first violation found.
+func (l *LLC) CheckInvariants() error {
+	for set := 0; set < l.sets; set++ {
+		seen := make(map[uint64]int, l.ways())
+		for w := 0; w < l.ways(); w++ {
+			e := l.entryAt(set, w)
+			if !e.valid {
+				continue
+			}
+			if prev, dup := seen[e.block]; dup {
+				return fmt.Errorf("hybrid: block %#x in set %d ways %d and %d", e.block, set, prev, w)
+			}
+			seen[e.block] = w
+			if l.SetOf(e.block) != set {
+				return fmt.Errorf("hybrid: block %#x stored in wrong set %d", e.block, set)
+			}
+			if e.cb == 0 || int(e.cb) > bdi.BlockSize {
+				return fmt.Errorf("hybrid: block %#x has invalid compressed size %d", e.block, e.cb)
+			}
+			if l.partOf(w) == NVM && l.frameOf(set, w).Dead() {
+				return fmt.Errorf("hybrid: block %#x resident in dead frame (set %d way %d)", e.block, set, w)
+			}
+		}
+	}
+	s := &l.Stats
+	if s.Hits+s.Misses != s.GetS+s.GetX {
+		return fmt.Errorf("hybrid: hits+misses (%d) != requests (%d)", s.Hits+s.Misses, s.GetS+s.GetX)
+	}
+	if s.SRAMHits+s.NVMHits != s.Hits {
+		return fmt.Errorf("hybrid: partition hits (%d) != hits (%d)", s.SRAMHits+s.NVMHits, s.Hits)
+	}
+	return nil
+}
+
+// PartitionOf returns the partition currently holding block.
+func (l *LLC) PartitionOf(block uint64) (Partition, bool) {
+	_, way, e := l.find(block)
+	if e == nil {
+		return 0, false
+	}
+	return l.partOf(way), true
+}

@@ -1,0 +1,118 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/nvm"
+	"repro/internal/stats"
+)
+
+func newMatLLC(t testing.TB) *LLC {
+	t.Helper()
+	return New(Config{
+		Sets: 16, SRAMWays: 2, NVMWays: 6,
+		Policy:          testCP,
+		Thresholds:      FixedThreshold(58),
+		Endurance:       nvm.EnduranceModel{Mean: 1e9, CV: 0.2},
+		Sampler:         stats.NewRNG(17),
+		MaterializeData: true,
+	})
+}
+
+func TestMaterializedBasicFlow(t *testing.T) {
+	l := newMatLLC(t)
+	if !l.Materialized() {
+		t.Fatal("mode not active")
+	}
+	content := compressibleBlock()
+	l.Insert(3, false, BlockTag{}, content)
+	if p, _ := l.PartitionOf(3); p != NVM {
+		t.Fatal("setup: block should be in NVM")
+	}
+	l.GetS(3) // triggers a read-path verification
+	if l.Stats.DataPathErrors != 0 {
+		t.Fatalf("data path errors: %d", l.Stats.DataPathErrors)
+	}
+	if err := l.VerifyAllResident(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaterializedMigration(t *testing.T) {
+	l := newMatLLC(t)
+	// Big block to SRAM, promote to read-reuse, force migration.
+	inc := incompressibleBlock()
+	l.Insert(16, false, BlockTag{}, inc) // set 0 SRAM
+	l.GetS(16)
+	l.Insert(32, false, BlockTag{}, incompressibleBlock())
+	l.Insert(48, false, BlockTag{}, incompressibleBlock()) // SRAM full -> migrate 16
+	if l.Stats.Migrations == 0 {
+		t.Skip("migration did not trigger under this geometry")
+	}
+	if p, _ := l.PartitionOf(16); p != NVM {
+		t.Fatal("block 16 should have migrated")
+	}
+	l.GetS(16)
+	if l.Stats.DataPathErrors != 0 {
+		t.Fatalf("migrated block failed verification: %d errors", l.Stats.DataPathErrors)
+	}
+}
+
+func TestMaterializedDirtyUpdate(t *testing.T) {
+	l := newMatLLC(t)
+	l.Insert(5, false, BlockTag{}, compressibleBlock())
+	// Dirty update with different content.
+	newContent := make([]byte, 64)
+	for i := range newContent {
+		newContent[i] = byte(i * 3)
+	}
+	l.Insert(5, true, BlockTag{Reuse: ReuseWrite}, newContent)
+	l.GetS(5)
+	if l.Stats.DataPathErrors != 0 {
+		t.Fatalf("in-place update broke verification: %d", l.Stats.DataPathErrors)
+	}
+	if err := l.VerifyAllResident(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaterializedWearMatchesECB(t *testing.T) {
+	l := newMatLLC(t)
+	l.Insert(7, false, BlockTag{}, compressibleBlock()) // B8D1: 16+2 ECB
+	var total uint64
+	for _, f := range l.Array().Frames() {
+		total += f.PhaseWritten()
+	}
+	if total != 18 {
+		t.Fatalf("frame wear %d bytes, want 18 (no double counting)", total)
+	}
+	if l.Stats.NVMBytesWritten != 18 {
+		t.Fatalf("stats bytes %d, want 18", l.Stats.NVMBytesWritten)
+	}
+}
+
+func TestMaterializedPanicsForNonCompressed(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-compressed policy accepted")
+		}
+	}()
+	New(Config{
+		Sets: 4, SRAMWays: 1, NVMWays: 2,
+		Policy: testBH, Endurance: testEndurance,
+		Sampler: stats.NewRNG(1), MaterializeData: true,
+	})
+}
+
+func TestMaterializedPanicsWithHCROnly(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HCROnly + materialize accepted")
+		}
+	}()
+	New(Config{
+		Sets: 4, SRAMWays: 1, NVMWays: 2,
+		Policy: testCP, Endurance: testEndurance,
+		Sampler: stats.NewRNG(1), MaterializeData: true, HCROnly: true,
+	})
+}

@@ -1,0 +1,93 @@
+package nvm
+
+import "fmt"
+
+// This file models the block-rearrangement circuitry of Fig. 5: an index
+// generator plus a crossbar that scatter an extended compressed block (ECB)
+// over the non-faulty bytes of a partially defective frame on writes, and
+// gather it back on reads. A global wear-leveling counter rotates the
+// starting byte so that, over long periods, writes wear all live bytes of a
+// frame evenly (§III-B1).
+
+// WearLevelCounter is the global intra-frame wear-leveling counter shared
+// by all sets. Hardware increments it after hours or days; the forecast
+// procedure advances it between simulation phases.
+type WearLevelCounter struct {
+	value int
+}
+
+// Value returns the current rotation offset in [0, FrameBytes).
+func (c *WearLevelCounter) Value() int { return c.value }
+
+// Advance rotates the counter by n positions.
+func (c *WearLevelCounter) Advance(n int) {
+	c.value = ((c.value+n)%FrameBytes + FrameBytes) % FrameBytes
+}
+
+// IndexVector maps RECB (physical, scattered) byte positions to ECB
+// (logical, contiguous) byte indices. Entry -1 means "don't care" (the
+// physical byte holds no ECB byte, either because it is faulty or because
+// the ECB is shorter than the live capacity).
+type IndexVector [FrameBytes]int
+
+// BuildIndexVector computes the index vector from a fault map, the global
+// wear-leveling counter and the ECB length, mirroring the parallel
+// tree-adder index generator of Fig. 5c. Walking physical positions
+// starting at the counter and skipping faulty bytes, the k-th live position
+// receives ECB byte k, for k < ecbLen.
+func BuildIndexVector(fm FaultMap, counter, ecbLen int) (IndexVector, error) {
+	var iv IndexVector
+	for i := range iv {
+		iv[i] = -1
+	}
+	live := FrameBytes - fm.Count()
+	if ecbLen > live {
+		return iv, fmt.Errorf("nvm: ECB of %d bytes exceeds %d live bytes", ecbLen, live)
+	}
+	k := 0
+	for step := 0; step < FrameBytes && k < ecbLen; step++ {
+		pos := (counter + step) % FrameBytes
+		if fm.Get(pos) {
+			continue
+		}
+		iv[pos] = k
+		k++
+	}
+	return iv, nil
+}
+
+// Scatter produces the rearranged ECB (RECB) and the selective write mask
+// for one frame write: RECB[pos] = ECB[iv[pos]] for mapped positions; the
+// mask has bit set for exactly those positions (Fig. 5c).
+func Scatter(ecb []byte, fm FaultMap, counter int) (recb [FrameBytes]byte, mask FaultMap, err error) {
+	iv, err := BuildIndexVector(fm, counter, len(ecb))
+	if err != nil {
+		return recb, mask, err
+	}
+	for pos, k := range iv {
+		if k >= 0 {
+			recb[pos] = ecb[k]
+			mask.Set(pos)
+		}
+	}
+	return recb, mask, nil
+}
+
+// Gather reconstructs the contiguous ECB from a scattered RECB (Fig. 5d).
+func Gather(recb [FrameBytes]byte, fm FaultMap, counter, ecbLen int) ([]byte, error) {
+	iv, err := BuildIndexVector(fm, counter, ecbLen)
+	if err != nil {
+		return nil, err
+	}
+	ecb := make([]byte, ecbLen)
+	for pos, k := range iv {
+		if k >= 0 {
+			ecb[k] = recb[pos]
+		}
+	}
+	return ecb, nil
+}
+
+// MaskBits returns the number of set bits in the write mask; tests use it
+// to confirm selective writing touches exactly len(ECB) bitcell groups.
+func MaskBits(m FaultMap) int { return m.Count() }

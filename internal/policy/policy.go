@@ -1,0 +1,255 @@
+// Package policy implements every insertion policy evaluated in the paper
+// (Table III plus the intermediate CA and CA_RWR designs of §IV):
+//
+//	BH       — NVM-unaware baseline hybrid: global LRU, frame disabling.
+//	BH_CP    — BH plus compression and byte disabling: global Fit-LRU.
+//	CA       — naive compression-aware: small blocks to NVM, big to SRAM.
+//	CA_RWR   — CA plus read/write-reuse steering (Table II).
+//	CP_SD    — CA_RWR with the set-dueling threshold (pair it with a
+//	           dueling.Controller; Th/Tw select the CP_SD_Th variants).
+//	LHybrid  — loop-block-aware state of the art (frame disabling).
+//	TAP      — thrashing-aware, more conservative than LHybrid.
+//	SRAMOnly — pure-SRAM bounds (16w upper, 4w lower in the paper).
+package policy
+
+import (
+	"repro/internal/hybrid"
+	"repro/internal/nvm"
+)
+
+// BH is the baseline hybrid LLC: a single LRU list across all ways,
+// oblivious to which ways are NVM, storing uncompressed blocks, with
+// frame-granularity disabling (§II-D).
+type BH struct{}
+
+// Name implements hybrid.Policy.
+func (BH) Name() string { return "BH" }
+
+// Compressed implements hybrid.Policy.
+func (BH) Compressed() bool { return false }
+
+// Granularity implements hybrid.Policy.
+func (BH) Granularity() nvm.Granularity { return nvm.FrameDisabling }
+
+// Global implements hybrid.Policy.
+func (BH) Global() bool { return true }
+
+// Target implements hybrid.Policy; unused for global policies.
+func (BH) Target(hybrid.InsertInfo) hybrid.Partition { return hybrid.SRAM }
+
+// MigrateReadReuse implements hybrid.Policy.
+func (BH) MigrateReadReuse() bool { return false }
+
+// LHybridMigrate implements hybrid.Policy.
+func (BH) LHybridMigrate() bool { return false }
+
+// UsesThreshold implements hybrid.Policy.
+func (BH) UsesThreshold() bool { return false }
+
+// SRAMOnly models the paper's SRAM LLC bounds; it behaves exactly like BH
+// (global LRU) and is intended for configurations with zero NVM ways.
+type SRAMOnly struct{ BH }
+
+// Name implements hybrid.Policy.
+func (SRAMOnly) Name() string { return "SRAM" }
+
+// BHCP is BH extended with BDI compression and byte disabling but still
+// NVM-unaware: the victim is the LRU block among all frames (either part)
+// with effective capacity at least the incoming compressed size (§V-B).
+type BHCP struct{}
+
+// Name implements hybrid.Policy.
+func (BHCP) Name() string { return "BH_CP" }
+
+// Compressed implements hybrid.Policy.
+func (BHCP) Compressed() bool { return true }
+
+// Granularity implements hybrid.Policy.
+func (BHCP) Granularity() nvm.Granularity { return nvm.ByteDisabling }
+
+// Global implements hybrid.Policy.
+func (BHCP) Global() bool { return true }
+
+// Target implements hybrid.Policy; unused for global policies.
+func (BHCP) Target(hybrid.InsertInfo) hybrid.Partition { return hybrid.SRAM }
+
+// MigrateReadReuse implements hybrid.Policy.
+func (BHCP) MigrateReadReuse() bool { return false }
+
+// LHybridMigrate implements hybrid.Policy.
+func (BHCP) LHybridMigrate() bool { return false }
+
+// UsesThreshold implements hybrid.Policy.
+func (BHCP) UsesThreshold() bool { return false }
+
+// CA is the naive compression-aware policy of §IV-A: small blocks
+// (compressed size <= CPth) go to NVM, big blocks to SRAM, with local LRU
+// in each part. Pair it with hybrid.FixedThreshold.
+type CA struct{}
+
+// Name implements hybrid.Policy.
+func (CA) Name() string { return "CA" }
+
+// Compressed implements hybrid.Policy.
+func (CA) Compressed() bool { return true }
+
+// Granularity implements hybrid.Policy.
+func (CA) Granularity() nvm.Granularity { return nvm.ByteDisabling }
+
+// Global implements hybrid.Policy.
+func (CA) Global() bool { return false }
+
+// Target implements hybrid.Policy.
+func (CA) Target(info hybrid.InsertInfo) hybrid.Partition {
+	if info.Small() {
+		return hybrid.NVM
+	}
+	return hybrid.SRAM
+}
+
+// MigrateReadReuse implements hybrid.Policy.
+func (CA) MigrateReadReuse() bool { return false }
+
+// LHybridMigrate implements hybrid.Policy.
+func (CA) LHybridMigrate() bool { return false }
+
+// UsesThreshold implements hybrid.Policy.
+func (CA) UsesThreshold() bool { return true }
+
+// CARWR adds read/write-reuse steering to CA (§IV-B, Table II):
+//
+//	reuse class | small block | big block
+//	none        | NVM         | SRAM
+//	read        | NVM         | NVM
+//	write       | SRAM        | SRAM
+//
+// plus migration of read-reused SRAM victims to NVM. With a fixed
+// threshold this is CA_RWR; with a dueling.Controller it is CP_SD.
+type CARWR struct {
+	// PolicyName lets the same mechanics present as CA_RWR, CP_SD or
+	// CP_SD_Th depending on the threshold provider in use.
+	PolicyName string
+
+	// NoMigration ablates the SRAM-victim migration of §IV-B: read-reused
+	// blocks evicted from SRAM are discarded instead of moved to NVM.
+	NoMigration bool
+}
+
+// Name implements hybrid.Policy.
+func (p CARWR) Name() string {
+	if p.PolicyName == "" {
+		return "CA_RWR"
+	}
+	return p.PolicyName
+}
+
+// Compressed implements hybrid.Policy.
+func (CARWR) Compressed() bool { return true }
+
+// Granularity implements hybrid.Policy.
+func (CARWR) Granularity() nvm.Granularity { return nvm.ByteDisabling }
+
+// Global implements hybrid.Policy.
+func (CARWR) Global() bool { return false }
+
+// Target implements hybrid.Policy (Table II).
+func (CARWR) Target(info hybrid.InsertInfo) hybrid.Partition {
+	switch info.Tag.Reuse {
+	case hybrid.ReuseRead:
+		return hybrid.NVM
+	case hybrid.ReuseWrite:
+		return hybrid.SRAM
+	default:
+		if info.Small() {
+			return hybrid.NVM
+		}
+		return hybrid.SRAM
+	}
+}
+
+// MigrateReadReuse implements hybrid.Policy.
+func (p CARWR) MigrateReadReuse() bool { return !p.NoMigration }
+
+// LHybridMigrate implements hybrid.Policy.
+func (CARWR) LHybridMigrate() bool { return false }
+
+// UsesThreshold implements hybrid.Policy.
+func (CARWR) UsesThreshold() bool { return true }
+
+// LHybrid is the loop-block-aware state-of-the-art policy (§II-C): blocks
+// tagged LB (clean blocks that hit in the LLC) are inserted into NVM,
+// everything else into SRAM; SRAM replacement migrates the most recent
+// loop-block to NVM. Frame disabling, no compression (Table III).
+type LHybrid struct{}
+
+// Name implements hybrid.Policy.
+func (LHybrid) Name() string { return "LHybrid" }
+
+// Compressed implements hybrid.Policy.
+func (LHybrid) Compressed() bool { return false }
+
+// Granularity implements hybrid.Policy.
+func (LHybrid) Granularity() nvm.Granularity { return nvm.FrameDisabling }
+
+// Global implements hybrid.Policy.
+func (LHybrid) Global() bool { return false }
+
+// Target implements hybrid.Policy.
+func (LHybrid) Target(info hybrid.InsertInfo) hybrid.Partition {
+	if info.Tag.LB {
+		return hybrid.NVM
+	}
+	return hybrid.SRAM
+}
+
+// MigrateReadReuse implements hybrid.Policy.
+func (LHybrid) MigrateReadReuse() bool { return false }
+
+// LHybridMigrate implements hybrid.Policy.
+func (LHybrid) LHybridMigrate() bool { return true }
+
+// UsesThreshold implements hybrid.Policy.
+func (LHybrid) UsesThreshold() bool { return false }
+
+// TAP is the thrashing-aware policy (§II-C): only clean blocks that have
+// hit in the LLC more than HThresh times (thrashing blocks) are inserted
+// into the NVM part, making it more conservative than LHybrid.
+type TAP struct {
+	// HThresh is the hit-count threshold; a block needs more than HThresh
+	// LLC hits to qualify. The paper's characterisation ("a block needs
+	// to show reuse more than once") corresponds to HThresh = 1.
+	HThresh uint8
+}
+
+// Name implements hybrid.Policy.
+func (TAP) Name() string { return "TAP" }
+
+// Compressed implements hybrid.Policy.
+func (TAP) Compressed() bool { return false }
+
+// Granularity implements hybrid.Policy.
+func (TAP) Granularity() nvm.Granularity { return nvm.FrameDisabling }
+
+// Global implements hybrid.Policy.
+func (TAP) Global() bool { return false }
+
+// Target implements hybrid.Policy.
+func (p TAP) Target(info hybrid.InsertInfo) hybrid.Partition {
+	th := p.HThresh
+	if th == 0 {
+		th = 1
+	}
+	if !info.Dirty && info.Tag.Hits > th {
+		return hybrid.NVM
+	}
+	return hybrid.SRAM
+}
+
+// MigrateReadReuse implements hybrid.Policy.
+func (TAP) MigrateReadReuse() bool { return false }
+
+// LHybridMigrate implements hybrid.Policy.
+func (TAP) LHybridMigrate() bool { return false }
+
+// UsesThreshold implements hybrid.Policy.
+func (TAP) UsesThreshold() bool { return false }

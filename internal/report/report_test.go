@@ -1,0 +1,98 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("demo", "policy", "ipc", "life")
+	t.AddRow("BH", 0.9656, 2)
+	t.AddRow("CP_SD_long_name", float32(0.8619), "inf")
+	return t
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(lines[2], "0.9656") {
+		t.Errorf("float formatting wrong: %q", lines[2])
+	}
+	// Columns align: "ipc" column starts at the same offset in all rows.
+	idxHeader := strings.Index(lines[1], "ipc")
+	idxRow := strings.Index(lines[2], "0.9656")
+	if idxHeader != idxRow {
+		t.Errorf("misaligned columns: header at %d, row at %d\n%s", idxHeader, idxRow, out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d CSV lines", len(lines))
+	}
+	if lines[0] != "policy,ipc,life" {
+		t.Errorf("header %q", lines[0])
+	}
+	if lines[1] != "BH,0.9656,2" {
+		t.Errorf("row %q", lines[1])
+	}
+}
+
+func TestWriteDispatch(t *testing.T) {
+	var txt, csvOut bytes.Buffer
+	tab := sample()
+	if err := tab.Write(&txt, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Write(&csvOut, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(csvOut.String(), "demo") {
+		t.Error("CSV should omit the title")
+	}
+	if !strings.Contains(txt.String(), "demo") {
+		t.Error("text should include the title")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := New("", "a")
+	if tab.Rows() != 0 {
+		t.Fatal("fresh table has rows")
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "a" {
+		t.Errorf("empty table render: %q", buf.String())
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tab := New("", "x")
+	tab.AddRow(`va"l,ue`)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"va""l,ue"`) {
+		t.Errorf("CSV escaping wrong: %q", buf.String())
+	}
+}

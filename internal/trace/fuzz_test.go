@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// FuzzReader fuzzes the trace decoder with arbitrary byte streams: it must
+// never panic, and must return either records or an error — truncated
+// streams yield ErrUnexpectedEOF, garbage yields ErrBadMagic or a version
+// error.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid 3-record trace and a few corruptions of it.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := uint64(0); i < 3; i++ {
+		if err := w.Write(workload.Access{Block: i * 1000003, Write: i%2 == 0, Gap: int(i % 200)}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte("HLLC\x01\x00\x00\x00"))
+	f.Add([]byte("XXXX\x01\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			_, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // any decoding error is acceptable; panics are not
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/hier"
+	"repro/internal/hybrid"
+	"repro/internal/nvm"
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestTraceDrivenEqualsGeneratorDriven is the HyCSim-fidelity check: a
+// system driven by recorded traces must produce byte-identical LLC
+// statistics to one driven by the live generators the traces came from.
+func TestTraceDrivenEqualsGeneratorDriven(t *testing.T) {
+	const mix, seed, scale = 2, 7, 0.15
+
+	newLLC := func() *hybrid.LLC {
+		return hybrid.New(hybrid.Config{
+			Sets: 128, SRAMWays: 4, NVMWays: 12,
+			Policy:     policy.CARWR{},
+			Thresholds: hybrid.FixedThreshold(58),
+			Endurance:  nvm.EnduranceModel{Mean: 1e10, CV: 0.2},
+			Sampler:    stats.NewRNG(3),
+		})
+	}
+	cfg := hier.DefaultConfig()
+	cfg.EpochCycles = 250_000
+
+	// Generator-driven run.
+	genApps, err := workload.NewMix(mix, seed, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genSys := hier.New(cfg, newLLC(), genApps)
+	genStats := genSys.Run(1_500_000)
+
+	// Record traces from fresh identical apps, then replay.
+	recApps, _ := workload.NewMix(mix, seed, scale)
+	contentApps, _ := workload.NewMix(mix, seed, scale)
+	progs := make([]hier.Program, len(recApps))
+	for i, app := range recApps {
+		var buf bytes.Buffer
+		if err := Record(app, 600_000, &buf); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs[i] = NewProgram(rep, contentApps[i])
+	}
+	trcSys := hier.NewFromPrograms(cfg, newLLC(), progs)
+	trcStats := trcSys.Run(1_500_000)
+
+	if genStats.LLC != trcStats.LLC {
+		t.Fatalf("trace-driven stats diverge:\n gen %+v\n trc %+v", genStats.LLC, trcStats.LLC)
+	}
+	if genStats.MeanIPC != trcStats.MeanIPC {
+		t.Fatalf("IPC diverges: %v vs %v", genStats.MeanIPC, trcStats.MeanIPC)
+	}
+}

@@ -1,0 +1,233 @@
+// Package trace records and replays memory-access traces in a compact
+// binary format. The paper's design-space exploration runs on the
+// trace-driven HyCSim simulator; this package provides the equivalent
+// capability: capture the access stream of a synthetic application (or
+// any generator) once, then replay it deterministically across many
+// policy configurations, guaranteeing every configuration sees an
+// identical stimulus.
+//
+// Format (little-endian):
+//
+//	magic "HLLC" | version u8 | reserved [3]u8
+//	record*:
+//	  header byte: bit0 = write, bit1..7 = gap (0..126; 127 = extended)
+//	  [gap varint when extended]
+//	  block delta: signed varint from the previous block address
+//
+// Block addresses are delta-encoded because loops and streams dominate
+// real traces; typical records take 2-3 bytes.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/workload"
+)
+
+var magic = [4]byte{'H', 'L', 'L', 'C'}
+
+// Version of the on-disk format.
+const Version = 1
+
+// ErrBadMagic indicates the stream is not a trace file.
+var ErrBadMagic = errors.New("trace: bad magic")
+
+// Writer streams access records to an io.Writer.
+type Writer struct {
+	w         *bufio.Writer
+	prevBlock uint64
+	count     uint64
+	headerOut bool
+}
+
+// NewWriter wraps w. The header is emitted lazily on the first record (or
+// on Flush).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (t *Writer) writeHeader() error {
+	if t.headerOut {
+		return nil
+	}
+	t.headerOut = true
+	if _, err := t.w.Write(magic[:]); err != nil {
+		return err
+	}
+	_, err := t.w.Write([]byte{Version, 0, 0, 0})
+	return err
+}
+
+// Write appends one access record.
+func (t *Writer) Write(acc workload.Access) error {
+	if err := t.writeHeader(); err != nil {
+		return err
+	}
+	if acc.Gap < 0 {
+		return fmt.Errorf("trace: negative gap %d", acc.Gap)
+	}
+	head := byte(0)
+	if acc.Write {
+		head |= 1
+	}
+	extended := acc.Gap >= 127
+	if extended {
+		head |= 127 << 1
+	} else {
+		head |= byte(acc.Gap) << 1
+	}
+	if err := t.w.WriteByte(head); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	if extended {
+		n := binary.PutUvarint(buf[:], uint64(acc.Gap))
+		if _, err := t.w.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	delta := int64(acc.Block - t.prevBlock)
+	n := binary.PutVarint(buf[:], delta)
+	if _, err := t.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	t.prevBlock = acc.Block
+	t.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Flush writes buffered data (and the header, for empty traces).
+func (t *Writer) Flush() error {
+	if err := t.writeHeader(); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}
+
+// Reader decodes a trace stream.
+type Reader struct {
+	r         *bufio.Reader
+	prevBlock uint64
+	started   bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+func (t *Reader) readHeader() error {
+	if t.started {
+		return nil
+	}
+	t.started = true
+	var hdr [8]byte
+	if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+		return err
+	}
+	if [4]byte{hdr[0], hdr[1], hdr[2], hdr[3]} != magic {
+		return ErrBadMagic
+	}
+	if hdr[4] != Version {
+		return fmt.Errorf("trace: unsupported version %d", hdr[4])
+	}
+	return nil
+}
+
+// Read decodes the next record; io.EOF signals a clean end of trace.
+func (t *Reader) Read() (workload.Access, error) {
+	var acc workload.Access
+	if err := t.readHeader(); err != nil {
+		return acc, err
+	}
+	head, err := t.r.ReadByte()
+	if err != nil {
+		return acc, err // io.EOF passes through
+	}
+	acc.Write = head&1 != 0
+	gap := int(head >> 1)
+	if gap == 127 {
+		g, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			return acc, unexpected(err)
+		}
+		gap = int(g)
+	}
+	acc.Gap = gap
+	delta, err := binary.ReadVarint(t.r)
+	if err != nil {
+		return acc, unexpected(err)
+	}
+	t.prevBlock += uint64(delta)
+	acc.Block = t.prevBlock
+	return acc, nil
+}
+
+// unexpected maps mid-record EOF to ErrUnexpectedEOF so callers can tell
+// truncation from clean end of stream.
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Record captures n accesses from an application into w.
+func Record(app *workload.App, n int, w io.Writer) error {
+	tw := NewWriter(w)
+	for i := 0; i < n; i++ {
+		if err := tw.Write(app.Next()); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// Replayer adapts a recorded trace to the workload generator interface:
+// it loops the trace when Rewind is enabled and exhausted.
+type Replayer struct {
+	records []workload.Access
+	pos     int
+	// Loop restarts the trace at the end instead of panicking.
+	Loop bool
+}
+
+// Load reads an entire trace into memory for replay.
+func Load(r io.Reader) (*Replayer, error) {
+	tr := NewReader(r)
+	var recs []workload.Access
+	for {
+		acc, err := tr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, acc)
+	}
+	return &Replayer{records: recs, Loop: true}, nil
+}
+
+// Len returns the number of records in the trace.
+func (r *Replayer) Len() int { return len(r.records) }
+
+// Next returns the next access, looping if enabled.
+func (r *Replayer) Next() workload.Access {
+	if r.pos >= len(r.records) {
+		if !r.Loop || len(r.records) == 0 {
+			panic("trace: replay past end of trace")
+		}
+		r.pos = 0
+	}
+	acc := r.records[r.pos]
+	r.pos++
+	return acc
+}

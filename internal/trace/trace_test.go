@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestRoundtripSimple(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	in := []workload.Access{
+		{Block: 100, Write: false, Gap: 5},
+		{Block: 101, Write: true, Gap: 0},
+		{Block: 50, Write: false, Gap: 126},
+		{Block: 1 << 40, Write: true, Gap: 127},
+		{Block: 0, Write: false, Gap: 100000},
+	}
+	for _, a := range in {
+		if err := w.Write(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(in)) {
+		t.Fatalf("count = %d", w.Count())
+	}
+	r := NewReader(&buf)
+	for i, want := range in {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want clean EOF, got %v", err)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("empty trace should EOF cleanly, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("NOPE0000")))
+	if _, err := r.Read(); err != ErrBadMagic {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{'H', 'L', 'L', 'C', 99, 0, 0, 0}))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("unsupported version accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(workload.Access{Block: 1 << 50, Gap: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	r := NewReader(bytes.NewReader(data[:len(data)-1]))
+	if _, err := r.Read(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestNegativeGapRejected(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.Write(workload.Access{Gap: -1}); err == nil {
+		t.Fatal("negative gap accepted")
+	}
+}
+
+func TestRecordAndLoad(t *testing.T) {
+	app, err := workload.NewApp(workload.Profiles()["zeusmp06"], 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Record(app, 5000, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != 5000 {
+		t.Fatalf("loaded %d records", rep.Len())
+	}
+	// Replay matches a fresh generation with the same seed.
+	app2, _ := workload.NewApp(workload.Profiles()["zeusmp06"], 0, 9)
+	for i := 0; i < 5000; i++ {
+		if rep.Next() != app2.Next() {
+			t.Fatalf("replay diverged at record %d", i)
+		}
+	}
+}
+
+func TestReplayerLoops(t *testing.T) {
+	app, _ := workload.NewApp(workload.Profiles()["xz17"], 0, 1)
+	var buf bytes.Buffer
+	if err := Record(app, 10, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rep.Next()
+	for i := 0; i < 9; i++ {
+		rep.Next()
+	}
+	if rep.Next() != first {
+		t.Fatal("loop did not restart at record 0")
+	}
+}
+
+func TestReplayerPanicsWithoutLoop(t *testing.T) {
+	rep := &Replayer{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty replay did not panic")
+		}
+	}()
+	rep.Next()
+}
+
+func TestCompactness(t *testing.T) {
+	app, _ := workload.NewApp(workload.Profiles()["libquantum06"], 0, 2)
+	var buf bytes.Buffer
+	const n = 20000
+	if err := Record(app, n, &buf); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := float64(buf.Len()) / n
+	if perRecord > 5 {
+		t.Errorf("%.1f bytes/record; delta encoding ineffective", perRecord)
+	}
+}
+
+// Property: arbitrary access sequences roundtrip exactly.
+func TestTraceProperty(t *testing.T) {
+	f := func(blocks []uint64, writes []bool, gaps []uint16) bool {
+		n := len(blocks)
+		if len(writes) < n {
+			n = len(writes)
+		}
+		if len(gaps) < n {
+			n = len(gaps)
+		}
+		in := make([]workload.Access, n)
+		for i := 0; i < n; i++ {
+			in[i] = workload.Access{Block: blocks[i], Write: writes[i], Gap: int(gaps[i])}
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, a := range in {
+			if err := w.Write(a); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		for _, want := range in {
+			got, err := r.Read()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		_, err := r.Read()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTraceWrite(b *testing.B) {
+	app, _ := workload.NewApp(workload.Profiles()["mcf17"], 0, 1)
+	w := NewWriter(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(app.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceRead(b *testing.B) {
+	app, _ := workload.NewApp(workload.Profiles()["mcf17"], 0, 1)
+	var buf bytes.Buffer
+	if err := Record(app, 100000, &buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	r := NewReader(bytes.NewReader(data))
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Read(); err == io.EOF {
+			r = NewReader(bytes.NewReader(data))
+		}
+	}
+}
