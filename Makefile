@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-figures validate experiments clean
+.PHONY: all build test vet fmt-check ci bench bench-figures validate experiments clean
 
 all: build vet test
 
@@ -14,6 +14,16 @@ vet:
 
 test:
 	$(GO) test ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# Mirrors .github/workflows/ci.yml so the same gate runs locally.
+ci: fmt-check vet build
+	$(GO) test -race ./...
 
 # Full benchmark suite: one benchmark per paper table/figure, plus the
 # ablation/extension benches and the substrate microbenchmarks.

@@ -356,6 +356,26 @@ func BenchmarkBDICompressMixed(b *testing.B) {
 	}
 }
 
+// BenchmarkMetricsSnapshot prices the windowed-delta capture that
+// hier.System.Run performs (two registry snapshots plus a delta) against
+// BenchmarkEndToEndSimulation's ~ms-scale Run: it must stay well under 5%
+// of the simulation hot path.
+func BenchmarkMetricsSnapshot(b *testing.B) {
+	cfg := benchBase()
+	sys, err := cfg.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Run(200_000)
+	reg := sys.Metrics()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		before := reg.Snapshot()
+		_ = reg.Snapshot().Delta(before)
+	}
+}
+
 func BenchmarkEndToEndSimulation(b *testing.B) {
 	cfg := benchBase()
 	sys, err := cfg.Build()

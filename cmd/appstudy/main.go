@@ -20,8 +20,8 @@ import (
 
 func main() {
 	cfg := core.QuickConfig()
-	policyName := flag.String("policy", "CP_SD", "insertion policy")
-	cpth := flag.Int("cpth", 37, "fixed threshold for CA/CA_RWR")
+	policyName := flag.String("policy", cfg.PolicyName, "insertion policy")
+	cpth := flag.Int("cpth", cfg.CPth, "fixed threshold for CA/CA_RWR")
 	warmup := flag.Uint64("warmup", 1_000_000, "warm-up cycles")
 	measure := flag.Uint64("measure", 4_000_000, "measured cycles")
 	csvOut := flag.Bool("csv", false, "emit CSV")

@@ -6,6 +6,9 @@
 //	-fig8        Fig. 8 — fraction of epochs each CPth value is optimal,
 //	             across NVM capacities (8a) and across mixes (8b).
 //	-epochsweep  §IV-C — set-dueling epoch-size sensitivity.
+//
+// All modes render through the shared report sink; -csv and -json select
+// the machine-readable encodings.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/report"
 )
 
 func main() {
@@ -27,6 +31,8 @@ func main() {
 	sets := flag.Int("sets", cfg.LLCSets, "LLC sets")
 	fig8 := flag.Bool("fig8", false, "produce the Fig. 8 optimal-CPth distributions")
 	epochSweep := flag.Bool("epochsweep", false, "produce the epoch-size sensitivity table")
+	csvOut := flag.Bool("csv", false, "emit CSV")
+	jsonOut := flag.Bool("json", false, "emit JSON")
 	flag.Parse()
 
 	cfg.Scale = *scale
@@ -36,73 +42,91 @@ func main() {
 		fatal(err)
 	}
 
+	var rep *report.Report
 	switch {
 	case *fig8:
-		runFig8(cfg, mixes)
+		rep, err = runFig8(cfg, mixes)
 	case *epochSweep:
-		runEpochSweep(cfg, mixes, *warmup, *measure)
+		rep, err = runEpochSweep(cfg, mixes, *warmup, *measure)
 	default:
-		runFig67(cfg, mixes, *warmup, *measure)
+		rep, err = runFig67(cfg, mixes, *warmup, *measure)
 	}
-}
-
-func runFig67(cfg core.Config, mixes []int, warmup, measure uint64) {
-	sweep, err := experiments.Fig6And7CPthSweep(cfg, mixes, warmup, measure)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println("Fig. 6 / Fig. 7 — normalised to BH")
-	fmt.Printf("%5s %12s %12s %12s %12s\n", "CPth", "CA hits", "CA_RWR hits", "CA bytes", "CA_RWR bytes")
+	if err := rep.Write(os.Stdout, report.FormatOf(*jsonOut, *csvOut)); err != nil {
+		fatal(err)
+	}
+}
+
+func runFig67(cfg core.Config, mixes []int, warmup, measure uint64) (*report.Report, error) {
+	sweep, err := experiments.Fig6And7CPthSweep(cfg, mixes, warmup, measure)
+	if err != nil {
+		return nil, err
+	}
+	rep := report.NewReport("Fig. 6 / Fig. 7 — normalised to BH")
+	rep.AddField("cpsd_hits_vs_bh", sweep.NormalizedHitRate(sweep.CPSDHits))
+	rep.AddField("cpsd_bytes_vs_bh", sweep.NormalizedBytes(sweep.CPSDBytes))
+	tab := report.New("CPth sweep (CA and CA_RWR vs BH)",
+		"cpth", "ca_hits", "ca_rwr_hits", "ca_bytes", "ca_rwr_bytes")
 	for _, r := range sweep.Rows {
-		fmt.Printf("%5d %12.4f %12.4f %12.4f %12.4f\n", r.CPth,
+		tab.AddRow(r.CPth,
 			sweep.NormalizedHitRate(r.CAHits),
 			sweep.NormalizedHitRate(r.CARWRHits),
 			sweep.NormalizedBytes(r.CANVMBytes),
 			sweep.NormalizedBytes(r.CARWRNVMBytes))
 	}
-	fmt.Printf("%5s %12.4f %12s %12.4f\n", "CP_SD",
-		sweep.NormalizedHitRate(sweep.CPSDHits), "-", sweep.NormalizedBytes(sweep.CPSDBytes))
+	rep.AddTable(tab)
+	return rep, nil
 }
 
-func runFig8(cfg core.Config, mixes []int) {
+func runFig8(cfg core.Config, mixes []int) (*report.Report, error) {
 	res, err := experiments.Fig8OptimalCPth(cfg, mixes, []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5}, 3, 16)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	fmt.Println("Fig. 8a — % epochs each CPth is optimal, by NVM capacity")
-	fmt.Printf("%9s", "capacity")
+	rep := report.NewReport("Fig. 8 — fraction of epochs each CPth is optimal")
+	cols := make([]string, 0, len(res.Candidates)+1)
+	cols = append(cols, "capacity")
 	for _, c := range res.Candidates {
-		fmt.Printf(" %6d", c)
+		cols = append(cols, fmt.Sprintf("cpth_%d", c))
 	}
-	fmt.Println()
+	byCap := report.New("Fig. 8a — by NVM capacity", cols...)
 	for i, capacity := range res.Capacities {
-		fmt.Printf("%8.0f%%", capacity*100)
+		row := []interface{}{fmt.Sprintf("%.0f%%", capacity*100)}
 		for _, f := range res.ByCapacity[i] {
-			fmt.Printf(" %5.1f%%", f*100)
+			row = append(row, f)
 		}
-		fmt.Println()
+		byCap.AddRow(row...)
 	}
-	fmt.Println("\nFig. 8b — per mix at 100% capacity")
+	rep.AddTable(byCap)
+
+	cols[0] = "mix"
+	byMix := report.New("Fig. 8b — per mix at 100% capacity", cols...)
 	for i, m := range res.Mixes {
-		fmt.Printf("mix %-5d", m+1)
+		row := []interface{}{m + 1}
 		for _, f := range res.ByMix[i] {
-			fmt.Printf(" %5.1f%%", f*100)
+			row = append(row, f)
 		}
-		fmt.Println()
+		byMix.AddRow(row...)
 	}
+	rep.AddTable(byMix)
+	return rep, nil
 }
 
-func runEpochSweep(cfg core.Config, mixes []int, warmup, measure uint64) {
+func runEpochSweep(cfg core.Config, mixes []int, warmup, measure uint64) (*report.Report, error) {
 	sizes := []uint64{500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000}
 	rows, err := experiments.EpochSizeSweep(cfg, mixes, sizes, warmup, measure)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	fmt.Println("Set-dueling epoch-size sensitivity (§IV-C; paper picks 2M)")
-	fmt.Printf("%12s %10s\n", "epoch", "hit rate")
+	rep := report.NewReport("Set-dueling epoch-size sensitivity (§IV-C; paper picks 2M)")
+	tab := report.New("hit rate by epoch size", "epoch_cycles", "hit_rate")
 	for _, r := range rows {
-		fmt.Printf("%12d %10.4f\n", r.EpochCycles, r.HitRate)
+		tab.AddRow(r.EpochCycles, r.HitRate)
 	}
+	rep.AddTable(tab)
+	return rep, nil
 }
 
 func fatal(err error) {

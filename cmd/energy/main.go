@@ -6,6 +6,7 @@
 //
 //	energy -mixes 1,4,6,8
 //	energy -csv > energy.csv
+//	energy -json | jq '.tables[0].rows'
 package main
 
 import (
@@ -25,7 +26,8 @@ func main() {
 	warmup := flag.Uint64("warmup", 2_000_000, "warm-up cycles")
 	measure := flag.Uint64("measure", 8_000_000, "measured cycles")
 	scale := flag.Float64("scale", cfg.Scale, "workload footprint scale")
-	csvOut := flag.Bool("csv", false, "emit CSV instead of a text table")
+	csvOut := flag.Bool("csv", false, "emit CSV")
+	jsonOut := flag.Bool("json", false, "emit JSON")
 	flag.Parse()
 
 	cfg.Scale = *scale
@@ -40,14 +42,16 @@ func main() {
 		fatal(err)
 	}
 
-	tab := report.New("LLC energy per policy (mJ per measurement window)",
-		"policy", "SRAM dyn", "NVM dyn", "tag", "SRAM leak", "NVM leak", "total", "vs BH", "uJ/KI", "IPC")
+	rep := report.NewReport("LLC energy per policy (mJ per measurement window)")
+	tab := report.New("energy breakdown",
+		"policy", "sram_dyn", "nvm_dyn", "tag", "sram_leak", "nvm_leak", "total", "vs_bh", "uj_per_ki", "ipc")
 	for _, r := range rows {
 		b := r.Breakdown
 		tab.AddRow(r.Policy, b.SRAMDynamic, b.NVMDynamic, b.TagDynamic,
 			b.SRAMLeak, b.NVMLeak, b.Total(), r.RelativeToBH, r.PerKI*1e3, r.MeanIPC)
 	}
-	if err := tab.Write(os.Stdout, *csvOut); err != nil {
+	rep.AddTable(tab)
+	if err := rep.Write(os.Stdout, report.FormatOf(*jsonOut, *csvOut)); err != nil {
 		fatal(err)
 	}
 }

@@ -2,7 +2,7 @@
 // (Fig. 1, Fig. 10a/b/c, Fig. 11a/b/c): for each selected policy it runs
 // the aging forecast procedure across the selected mixes and prints the
 // lifetime to 50% NVM capacity plus the IPC trajectory (normalised to the
-// 16-way SRAM upper bound).
+// 16-way SRAM upper bound), through the shared report sink.
 //
 // Examples:
 //
@@ -13,6 +13,7 @@
 //	forecast -l2kb 256               # Fig 11a
 //	forecast -nvmlat 1.5             # Fig 11b
 //	forecast -nvm 10                 # Fig 11c equal-storage point
+//	forecast -json | jq '.tables[0]'
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/forecast"
+	"repro/internal/report"
 )
 
 func main() {
@@ -36,13 +38,15 @@ func main() {
 	cv := flag.Float64("cv", cfg.EnduranceCV, "endurance coefficient of variation")
 	mean := flag.Float64("mean", cfg.EnduranceMean, "endurance mean writes")
 	l2kb := flag.Int("l2kb", cfg.L2SizeKB, "L2 size in KB")
-	nvmlat := flag.Float64("nvmlat", 1.0, "NVM data-array latency factor")
+	nvmlat := flag.Float64("nvmlat", cfg.NVMLatencyFactor, "NVM data-array latency factor")
 	scale := flag.Float64("scale", cfg.Scale, "workload footprint scale")
 	sets := flag.Int("sets", cfg.LLCSets, "LLC sets")
 	phase := flag.Uint64("phase", 10_000_000, "measured cycles per forecast phase")
 	warm := flag.Uint64("warmup", 2_000_000, "warm-up cycles per phase")
 	step := flag.Float64("step", 0.025, "capacity drop per prediction phase")
 	rotate := flag.Bool("rotate", false, "enable Start-Gap-style inter-set wear leveling")
+	csvOut := flag.Bool("csv", false, "emit CSV")
+	jsonOut := flag.Bool("json", false, "emit JSON")
 	flag.Parse()
 
 	cfg.SRAMWays, cfg.NVMWays = *sram, *nvmWays
@@ -79,7 +83,9 @@ func main() {
 		bound = up.InitialIPC
 	}
 
-	fmt.Printf("%-11s %10s %10s %10s %9s\n", "policy", "IPC(t=0)", "norm.IPC", "life(mo)", "censored")
+	rep := report.NewReport("forecast: lifetime and IPC evolution")
+	summary := report.New("lifetime to 50% NVM capacity",
+		"policy", "ipc_t0", "norm_ipc", "lifetime_months", "censored_mixes")
 	for _, pf := range fs {
 		life := "inf"
 		if !math.IsInf(pf.MeanLifetimeMonths, 1) {
@@ -89,8 +95,9 @@ func main() {
 		if bound > 0 {
 			norm = fmt.Sprintf("%.4f", pf.InitialIPC/bound)
 		}
-		fmt.Printf("%-11s %10.4f %10s %10s %9d\n", pf.Label, pf.InitialIPC, norm, life, pf.CensoredMixes)
+		summary.AddRow(pf.Label, pf.InitialIPC, norm, life, pf.CensoredMixes)
 	}
+	rep.AddTable(summary)
 
 	// IPC trajectory on a monthly grid up to the slowest-aging finite curve.
 	maxMo := 0.0
@@ -99,29 +106,34 @@ func main() {
 			maxMo = pf.MeanLifetimeMonths
 		}
 	}
-	if maxMo == 0 {
-		return
-	}
-	fmt.Printf("\nIPC vs time (months):\n%-11s", "policy")
-	points := 8
-	for i := 0; i <= points; i++ {
-		fmt.Printf(" %7.1f", maxMo*float64(i)/float64(points))
-	}
-	fmt.Println()
-	for _, pf := range fs {
-		if pf.Label == "SRAM16" || pf.Label == "SRAM4" {
-			continue
-		}
-		fmt.Printf("%-11s", pf.Label)
+	if maxMo > 0 {
+		const points = 8
+		cols := []string{"policy"}
 		for i := 0; i <= points; i++ {
-			t := maxMo * float64(i) / float64(points) * forecast.SecondsPerMonth
-			v := pf.IPCAt(t)
-			if bound > 0 {
-				v /= bound
-			}
-			fmt.Printf(" %7.4f", v)
+			// %.3g keeps sub-month horizons distinguishable on
+			// accelerated-endurance runs where %.1f would print all zeros.
+			cols = append(cols, fmt.Sprintf("month_%.3g", maxMo*float64(i)/points))
 		}
-		fmt.Println()
+		traj := report.New("IPC vs time (normalised)", cols...)
+		for _, pf := range fs {
+			if pf.Label == "SRAM16" || pf.Label == "SRAM4" {
+				continue
+			}
+			row := []interface{}{pf.Label}
+			for i := 0; i <= points; i++ {
+				t := maxMo * float64(i) / points * forecast.SecondsPerMonth
+				v := pf.IPCAt(t)
+				if bound > 0 {
+					v /= bound
+				}
+				row = append(row, v)
+			}
+			traj.AddRow(row...)
+		}
+		rep.AddTable(traj)
+	}
+	if err := rep.Write(os.Stdout, report.FormatOf(*jsonOut, *csvOut)); err != nil {
+		fatal(err)
 	}
 }
 

@@ -1,20 +1,24 @@
 // Command hybridsim runs a single hybrid-LLC simulation window with any
-// insertion policy and prints the performance and NVM-write summary.
+// insertion policy and prints the performance and NVM-write summary. All
+// counters come from the system's metrics registry and are rendered
+// through the shared report sink (text, CSV or JSON).
 //
 // Examples:
 //
 //	hybridsim -policy CP_SD -mix 5
 //	hybridsim -policy CA_RWR -cpth 40 -measure 20000000
 //	hybridsim -policy CP_SD_Th -th 8 -capacity 0.8
+//	hybridsim -json | jq .fields.mean_ipc
+//	hybridsim -epochs -csv > epochs.csv
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/report"
 	"repro/internal/stats"
 )
 
@@ -29,14 +33,17 @@ func main() {
 	nvmWays := flag.Int("nvm", cfg.NVMWays, "NVM ways")
 	l2kb := flag.Int("l2kb", cfg.L2SizeKB, "L2 size in KB")
 	cpth := flag.Int("cpth", cfg.CPth, "fixed compression threshold for CA/CA_RWR")
-	th := flag.Float64("th", 4, "CP_SD_Th hit-sacrifice percentage")
-	tw := flag.Float64("tw", 5, "CP_SD_Th write-reduction percentage")
+	th := flag.Float64("th", cfg.Th, "CP_SD_Th hit-sacrifice percentage")
+	tw := flag.Float64("tw", cfg.Tw, "CP_SD_Th write-reduction percentage")
 	cv := flag.Float64("cv", cfg.EnduranceCV, "endurance coefficient of variation")
-	nvmlat := flag.Float64("nvmlat", 1.0, "NVM data-array latency factor")
+	nvmlat := flag.Float64("nvmlat", cfg.NVMLatencyFactor, "NVM data-array latency factor")
 	capacity := flag.Float64("capacity", 1.0, "pre-age the NVM part to this capacity fraction")
 	warmup := flag.Uint64("warmup", 2_000_000, "warm-up cycles")
 	measure := flag.Uint64("measure", 10_000_000, "measured cycles")
-	jsonOut := flag.Bool("json", false, "emit the summary as JSON")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	csvOut := flag.Bool("csv", false, "emit the report as CSV")
+	epochs := flag.Bool("epochs", false, "include the per-epoch series (IPC, LLC traffic, NVM bytes, CPth)")
+	allMetrics := flag.Bool("metrics", false, "include the full registry delta of the measured window")
 	prefetch := flag.Bool("prefetch", false, "enable the L2 stride prefetcher")
 	rrip := flag.Bool("rrip", false, "use fit-RRIP NVM replacement instead of fit-LRU")
 	flag.Parse()
@@ -58,41 +65,43 @@ func main() {
 
 	sys, err := cfg.Build()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hybridsim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if *capacity < 1 {
 		core.PreAge(sys, *capacity)
 	}
 	s := core.Measure(sys, *warmup, *measure)
 
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(s); err != nil {
-			fmt.Fprintln(os.Stderr, "hybridsim:", err)
-			os.Exit(1)
-		}
-		return
-	}
-
-	fmt.Printf("policy            %s\n", s.Policy)
-	fmt.Printf("mix               %d\n", *mix)
-	fmt.Printf("mean IPC          %.4f\n", s.MeanIPC)
-	fmt.Printf("LLC hit rate      %.4f  (%d hits / %d misses)\n", s.HitRate, s.Hits, s.Misses)
-	fmt.Printf("SRAM / NVM hits   %d / %d\n", s.SRAMHits, s.NVMHits)
-	fmt.Printf("LLC inserts       %d  (migrations %d)\n", s.Inserts, s.Migrations)
-	fmt.Printf("NVM block writes  %d\n", s.NVMBlockWrites)
-	fmt.Printf("NVM bytes written %s\n", stats.FormatSI(float64(s.NVMBytesWritten)))
-	fmt.Printf("NVM capacity      %.3f\n", s.Capacity)
+	rep := report.NewReport(fmt.Sprintf("hybridsim: %s mix %d", s.Policy, *mix))
+	rep.AddField("policy", s.Policy)
+	rep.AddField("mix", *mix)
+	rep.AddField("mean_ipc", s.MeanIPC)
+	rep.AddField("hit_rate", s.HitRate)
+	rep.AddField("hits", s.Hits)
+	rep.AddField("misses", s.Misses)
+	rep.AddField("sram_hits", s.SRAMHits)
+	rep.AddField("nvm_hits", s.NVMHits)
+	rep.AddField("inserts", s.Inserts)
+	rep.AddField("migrations", s.Migrations)
+	rep.AddField("nvm_block_writes", s.NVMBlockWrites)
+	rep.AddField("nvm_bytes_written", s.NVMBytesWritten)
+	rep.AddField("nvm_bytes_si", stats.FormatSI(float64(s.NVMBytesWritten)))
+	rep.AddField("nvm_capacity", s.Capacity)
 	if d, ok := core.Dueling(sys); ok {
-		fmt.Printf("CPth winner       %d  (epoch history %v)\n", d.Winner(), tail(d.History, 8))
+		rep.AddField("cpth_winner", d.Winner())
+	}
+	if *allMetrics {
+		rep.AddTable(report.SnapshotTable("window metrics", s.Metrics))
+	}
+	if *epochs {
+		rep.AddTable(report.SeriesTable("epoch series", sys.EpochRing()))
+	}
+	if err := rep.Write(os.Stdout, report.FormatOf(*jsonOut, *csvOut)); err != nil {
+		fatal(err)
 	}
 }
 
-func tail(xs []int, n int) []int {
-	if len(xs) <= n {
-		return xs
-	}
-	return xs[len(xs)-n:]
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hybridsim:", err)
+	os.Exit(1)
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/report"
 )
 
 func main() {
@@ -19,26 +20,35 @@ func main() {
 	warmup := flag.Uint64("warmup", 2_000_000, "warm-up cycles")
 	measure := flag.Uint64("measure", 8_000_000, "measured cycles")
 	scale := flag.Float64("scale", cfg.Scale, "workload footprint scale")
-	tw := flag.Float64("tw", 5, "Tw: minimum write reduction percentage")
+	tw := flag.Float64("tw", cfg.Tw, "Tw: minimum write reduction percentage")
+	csvOut := flag.Bool("csv", false, "emit CSV")
+	jsonOut := flag.Bool("json", false, "emit JSON")
 	flag.Parse()
 
 	cfg.Scale = *scale
 	mixes, err := cliutil.ParseMixes(*mixesFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "thsweep:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	ths := []float64{0, 2, 4, 6, 8}
 	caps := []float64{1.0, 0.9, 0.8}
 	pts, err := experiments.Fig9ThTradeoff(cfg, mixes, ths, caps, *tw, *warmup, *measure)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "thsweep:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	fmt.Printf("Fig. 9 — CP_SD_Th trade-off (Tw = %g%%), normalised to BH @ 100%%\n", *tw)
-	fmt.Printf("%9s %5s %10s %10s\n", "capacity", "Th", "hits", "NVM bytes")
+	rep := report.NewReport(fmt.Sprintf("Fig. 9 — CP_SD_Th trade-off (Tw = %g%%), normalised to BH @ 100%%", *tw))
+	tab := report.New("hits vs NVM bytes", "capacity", "th", "hits", "nvm_bytes")
 	for _, p := range pts {
-		fmt.Printf("%8.0f%% %5.0f %10.4f %10.4f\n", p.Capacity*100, p.Th, p.Hits, p.NVMBytes)
+		tab.AddRow(fmt.Sprintf("%.0f%%", p.Capacity*100), fmt.Sprintf("%g", p.Th), p.Hits, p.NVMBytes)
 	}
+	rep.AddTable(tab)
+	if err := rep.Write(os.Stdout, report.FormatOf(*jsonOut, *csvOut)); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thsweep:", err)
+	os.Exit(1)
 }

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 
 	"repro/internal/core"
 	"repro/internal/hier"
@@ -154,7 +155,9 @@ func determinism(cycles uint64) error {
 		}
 		return core.Measure(sys, cycles/4, cycles)
 	}
-	if a, b := run(), run(); a != b {
+	// DeepEqual covers the full registry delta too, so every counter and
+	// gauge — not just the summary scalars — must reproduce exactly.
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
 		return fmt.Errorf("two identical runs produced different results")
 	}
 	return nil

@@ -1,11 +1,14 @@
 // Command wearmap runs a simulation, ages the NVM array to a target
 // capacity with the measured write-rate distribution, and reports how the
 // wear and faults are distributed across frames — the view a device
-// architect uses to judge wear-leveling quality. Optionally dumps the full
-// NVM state (fault maps, wear, endurance limits) to a snapshot file.
+// architect uses to judge wear-leveling quality. The device-level
+// aggregates come from the metrics registry's nvm.array.* subtree.
+// Optionally dumps the full NVM state (fault maps, wear, endurance
+// limits) to a snapshot file.
 //
 //	wearmap -policy CP_SD -capacity 0.8
 //	wearmap -policy BH -capacity 0.9 -state bh.nvmstate
+//	wearmap -json | jq .fields.wear_imbalance
 package main
 
 import (
@@ -21,12 +24,13 @@ import (
 
 func main() {
 	cfg := core.DefaultConfig()
-	policyName := flag.String("policy", "CP_SD", "insertion policy")
+	policyName := flag.String("policy", cfg.PolicyName, "insertion policy")
 	mix := flag.Int("mix", 1, "Table V mix number (1-10)")
 	capacity := flag.Float64("capacity", 0.8, "age until this capacity fraction")
 	measure := flag.Uint64("measure", 8_000_000, "cycles to measure write rates over")
 	statePath := flag.String("state", "", "write the aged NVM state snapshot to this file")
 	csvOut := flag.Bool("csv", false, "emit CSV")
+	jsonOut := flag.Bool("json", false, "emit JSON")
 	flag.Parse()
 
 	cfg.PolicyName = *policyName
@@ -52,32 +56,48 @@ func main() {
 	frames := arr.Frames()
 	live := make([]int, len(frames))
 	wear := make([]float64, len(frames))
-	dead := 0
 	for i, f := range frames {
 		live[i] = f.LiveBytes()
 		wear[i] = f.Wear()
-		if f.Dead() {
-			dead++
-		}
 	}
 	sort.Ints(live)
 	sort.Float64s(wear)
 	pct := func(xs []int, p float64) int { return xs[int(p*float64(len(xs)-1))] }
 	pctF := func(xs []float64, p float64) float64 { return xs[int(p*float64(len(xs)-1))] }
 
-	tab := report.New(fmt.Sprintf("NVM wear map: %s mix %d aged to %.0f%% capacity (%.1f months)",
-		*policyName, *mix, cap*100, elapsed/forecast.SecondsPerMonth),
-		"metric", "p10", "p50", "p90", "max")
+	rep := report.NewReport(fmt.Sprintf("NVM wear map: %s mix %d aged to %.0f%% capacity",
+		*policyName, *mix, cap*100))
+	rep.AddField("policy", *policyName)
+	rep.AddField("mix", *mix)
+	rep.AddField("capacity", cap)
+	rep.AddField("aged_months", elapsed/forecast.SecondsPerMonth)
+	// Device aggregates, straight from the registry's nvm.array.* subtree.
+	// A fresh snapshot runs the array's aggregation hook, so the gauges
+	// reflect the post-aging state rather than the last Run window's.
+	snap := sys.Metrics().Snapshot()
+	for _, m := range []struct{ field, metric string }{
+		{"dead_frames", "nvm.array.dead_frames"},
+		{"live_frames", "nvm.array.live_frames"},
+		{"faulty_bytes", "nvm.array.faulty_bytes"},
+		{"wear_mean", "nvm.array.wear_mean"},
+		{"wear_max", "nvm.array.wear_max"},
+	} {
+		if v, ok := snap.Gauges[m.metric]; ok {
+			rep.AddField(m.field, v)
+		}
+	}
+	rep.AddField("dead_frame_fraction", float64(len(frames)-arr.LiveFrames())/float64(len(frames)))
+	// Wear imbalance across frames: p90/median wear; 1.0 = perfectly level.
+	if med := pctF(wear, 0.5); med > 0 {
+		rep.AddField("wear_imbalance", pctF(wear, 0.9)/med)
+	}
+
+	tab := report.New("per-frame distribution", "metric", "p10", "p50", "p90", "max")
 	tab.AddRow("live bytes/frame", pct(live, 0.1), pct(live, 0.5), pct(live, 0.9), live[len(live)-1])
 	tab.AddRow("wear (writes/byte)", pctF(wear, 0.1), pctF(wear, 0.5), pctF(wear, 0.9), wear[len(wear)-1])
-	if err := tab.Write(os.Stdout, *csvOut); err != nil {
+	rep.AddTable(tab)
+	if err := rep.Write(os.Stdout, report.FormatOf(*jsonOut, *csvOut)); err != nil {
 		fatal(err)
-	}
-	fmt.Printf("dead frames: %d / %d (%.1f%%)\n", dead, len(frames),
-		100*float64(dead)/float64(len(frames)))
-	// Wear imbalance across frames: max/median wear; 1.0 = perfectly level.
-	if med := pctF(wear, 0.5); med > 0 {
-		fmt.Printf("wear imbalance (p90/p50): %.2f\n", pctF(wear, 0.9)/med)
 	}
 
 	if *statePath != "" {
@@ -92,7 +112,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("NVM state written to %s\n", *statePath)
+		fmt.Fprintf(os.Stderr, "NVM state written to %s\n", *statePath)
 	}
 }
 

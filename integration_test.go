@@ -6,6 +6,7 @@ package repro
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -76,7 +77,9 @@ func TestEndToEndDeterminism(t *testing.T) {
 		return core.Measure(sys, 500_000, 2_000_000)
 	}
 	a, b := run(), run()
-	if a != b {
+	// DeepEqual also compares the full registry deltas, so every metric —
+	// not just the summary scalars — must reproduce bit-for-bit.
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("non-deterministic end-to-end run:\n%+v\n%+v", a, b)
 	}
 }

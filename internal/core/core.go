@@ -14,6 +14,7 @@ import (
 	"repro/internal/forecast"
 	"repro/internal/hier"
 	"repro/internal/hybrid"
+	"repro/internal/metrics"
 	"repro/internal/nvm"
 	"repro/internal/policy"
 	"repro/internal/stats"
@@ -94,7 +95,7 @@ func DefaultConfig() Config {
 		L2Ways:           16,
 		PolicyName:       "CP_SD",
 		CPth:             58,
-		Th:               0,
+		Th:               4, // §IV-D operating point; only used by CP_SD_Th
 		Tw:               5,
 		EnduranceMean:    1e10,
 		EnduranceCV:      0.2,
@@ -254,6 +255,10 @@ type Summary struct {
 	Inserts         uint64
 	Migrations      uint64
 	Capacity        float64
+
+	// Metrics is the full registry delta of the measured window — every
+	// counter and gauge of the system, under their hierarchical names.
+	Metrics metrics.Snapshot
 }
 
 // Measure warms the system up and measures a window, returning a summary.
@@ -273,6 +278,7 @@ func Measure(sys *hier.System, warmupCycles, measureCycles uint64) Summary {
 		Inserts:         r.LLC.Inserts,
 		Migrations:      r.LLC.Migrations,
 		Capacity:        sys.LLC().EffectiveCapacityFraction(),
+		Metrics:         r.Metrics,
 	}
 }
 

@@ -10,7 +10,11 @@
 // recomputed.
 package dueling
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
 
 // DefaultCandidates are the CPth values duelled in the paper's evaluation,
 // spanning 30 to 64 (§IV-C). 58 admits every compressed block into NVM;
@@ -157,6 +161,30 @@ func (c *Controller) EndEpoch() {
 		c.hits[k] = 0
 		c.bytes[k] = 0
 	}
+}
+
+// RegisterMetrics implements metrics.Registrable: the controller's state
+// appears under "dueling.*" — the CPth follower sets currently use, the
+// number of closed epochs, and the open epoch's aggregate sampler
+// counters. The per-epoch winner series is recorded by the hierarchy's
+// epoch ring (and in History).
+func (c *Controller) RegisterMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("dueling.cpth", func() float64 { return float64(c.Winner()) })
+	reg.CounterFunc("dueling.epochs", func() uint64 { return uint64(len(c.History)) })
+	reg.GaugeFunc("dueling.epoch_hits", func() float64 {
+		var t uint64
+		for _, h := range c.hits {
+			t += h
+		}
+		return float64(t)
+	})
+	reg.GaugeFunc("dueling.epoch_bytes", func() float64 {
+		var t uint64
+		for _, b := range c.bytes {
+			t += b
+		}
+		return float64(t)
+	})
 }
 
 // EpochCounters returns the current (open) epoch's per-candidate hit and

@@ -3,6 +3,8 @@ package dueling
 import (
 	"testing"
 	"testing/quick"
+
+	"repro/internal/metrics"
 )
 
 func TestGroupAssignment(t *testing.T) {
@@ -214,5 +216,41 @@ func BenchmarkRecordHit(b *testing.B) {
 	c := New(1024, 0, 0)
 	for i := 0; i < b.N; i++ {
 		c.RecordHit(i % 1024)
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	c := New(256, 4, 5)
+	reg := metrics.NewRegistry()
+	c.RegisterMetrics(reg)
+
+	// Feed one sampler set some traffic, then close the epoch.
+	var sampler int
+	for s := 0; s < 256; s++ {
+		if _, ok := c.IsSampler(s); ok {
+			sampler = s
+			break
+		}
+	}
+	c.RecordHit(sampler)
+	c.RecordNVMBytes(sampler, 48)
+	s1 := reg.Snapshot()
+	if s1.Gauge("dueling.epoch_hits") != 1 || s1.Gauge("dueling.epoch_bytes") != 48 {
+		t.Errorf("open-epoch gauges: hits %v bytes %v",
+			s1.Gauge("dueling.epoch_hits"), s1.Gauge("dueling.epoch_bytes"))
+	}
+	if s1.Counter("dueling.epochs") != 0 {
+		t.Errorf("epochs = %d before any boundary", s1.Counter("dueling.epochs"))
+	}
+	c.EndEpoch()
+	s2 := reg.Snapshot()
+	if s2.Counter("dueling.epochs") != 1 {
+		t.Errorf("epochs = %d after one boundary", s2.Counter("dueling.epochs"))
+	}
+	if s2.Gauge("dueling.epoch_hits") != 0 {
+		t.Error("open-epoch counters not reset at the boundary")
+	}
+	if int(s2.Gauge("dueling.cpth")) != c.Winner() {
+		t.Errorf("dueling.cpth gauge %v, winner %d", s2.Gauge("dueling.cpth"), c.Winner())
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/hybrid"
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -54,6 +55,10 @@ type Config struct {
 	// requests to a busy bank queue, so cores interfere realistically.
 	// 0 disables contention modelling.
 	Banks int
+
+	// EpochRingCapacity bounds the per-epoch sample series the system
+	// retains (0 selects metrics.DefaultEpochRingCapacity).
+	EpochRingCapacity int
 }
 
 // DefaultConfig returns the scaled default configuration.
@@ -125,7 +130,28 @@ type System struct {
 	bankFree []uint64
 	// BankStallCycles accumulates cycles cores spent queueing for banks.
 	BankStallCycles uint64
+
+	// reg is the system-wide metrics registry (shared with the LLC and
+	// its subcomponents); ring records the per-epoch series.
+	reg  *metrics.Registry
+	ring *metrics.EpochRing
+	// Epoch sampling state: counter readers for the ring's delta
+	// columns, their values at the last epoch boundary, and per-core
+	// insts/cycles at the last boundary for per-epoch IPC.
+	epochRead   []func() uint64
+	epochPrev   []uint64
+	epochInsts  []uint64
+	epochCycles []uint64
 }
+
+// EpochColumns are the per-epoch series recorded by the system, in ring
+// order: the across-core mean IPC of the epoch, the LLC hit/miss and NVM
+// write deltas, and the CPth chosen at the epoch boundary.
+var EpochColumns = []string{"mean_ipc", "hits", "misses", "nvm_block_writes", "nvm_bytes_written", "cpth"}
+
+// epochDeltaCounters are the registry counters sampled as deltas into the
+// ring; they align with EpochColumns[1:5].
+var epochDeltaCounters = []string{"llc.hits", "llc.misses", "llc.nvm.block_writes", "llc.nvm.bytes_written"}
 
 // New builds a system running the given apps (one per core) against llc.
 func New(cfg Config, llc *hybrid.LLC, apps []*workload.App) *System {
@@ -163,7 +189,81 @@ func NewFromPrograms(cfg Config, llc *hybrid.LLC, apps []Program) *System {
 		}
 		s.cores = append(s.cores, c)
 	}
+	s.registerMetrics(llc.Metrics(), cfg.EpochRingCapacity)
 	return s
+}
+
+// registerMetrics attaches the hierarchy's counters to the LLC's registry
+// and sets up the per-epoch sample ring.
+func (s *System) registerMetrics(reg *metrics.Registry, ringCap int) {
+	s.reg = reg
+	reg.Counter("sys.mem_fetches", &s.MemFetches)
+	reg.Counter("sys.bank_stall_cycles", &s.BankStallCycles)
+	reg.CounterFunc("sys.epochs", func() uint64 { return uint64(s.Epochs) })
+	for i, c := range s.cores {
+		c := c
+		prefix := fmt.Sprintf("core%d", i)
+		reg.Counter(prefix+".insts", &c.insts)
+		reg.Counter(prefix+".cycles", &c.cycles)
+		reg.GaugeFunc(prefix+".ipc", func() float64 {
+			if c.cycles == 0 {
+				return 0
+			}
+			return float64(c.insts) / float64(c.cycles)
+		})
+	}
+
+	s.ring = metrics.NewEpochRing(ringCap, EpochColumns...)
+	s.epochRead = make([]func() uint64, len(epochDeltaCounters))
+	s.epochPrev = make([]uint64, len(epochDeltaCounters))
+	for i, name := range epochDeltaCounters {
+		read, ok := reg.CounterReader(name)
+		if !ok {
+			panic("hier: registry is missing " + name)
+		}
+		s.epochRead[i] = read
+	}
+	s.epochInsts = make([]uint64, len(s.cores))
+	s.epochCycles = make([]uint64, len(s.cores))
+}
+
+// Metrics returns the system-wide metrics registry.
+func (s *System) Metrics() *metrics.Registry { return s.reg }
+
+// EpochRing returns the ring holding the per-epoch series (EpochColumns).
+func (s *System) EpochRing() *metrics.EpochRing { return s.ring }
+
+// EpochSamples returns the retained per-epoch samples, oldest first.
+func (s *System) EpochSamples() []metrics.Sample { return s.ring.Samples() }
+
+// recordEpoch samples the just-closed epoch into the ring: per-epoch IPC
+// from the cores' deltas, the LLC counter deltas since the previous
+// boundary, and the CPth selected for the next epoch.
+func (s *System) recordEpoch(cycle uint64) {
+	var ipcSum float64
+	for i, c := range s.cores {
+		di := c.insts - s.epochInsts[i]
+		dc := c.cycles - s.epochCycles[i]
+		if dc > 0 {
+			ipcSum += float64(di) / float64(dc)
+		}
+		s.epochInsts[i] = c.insts
+		s.epochCycles[i] = c.cycles
+	}
+	var deltas [4]float64
+	for i, read := range s.epochRead {
+		v := read()
+		deltas[i] = float64(v - s.epochPrev[i])
+		s.epochPrev[i] = v
+	}
+	cpth := 0
+	if w, ok := s.llc.Thresholds().(interface{ Winner() int }); ok {
+		cpth = w.Winner()
+	} else {
+		cpth = s.llc.Thresholds().CPthFor(0)
+	}
+	s.ring.Record(s.Epochs-1, cycle, ipcSum/float64(len(s.cores)),
+		deltas[0], deltas[1], deltas[2], deltas[3], float64(cpth))
 }
 
 // LLC returns the shared last-level cache.
@@ -187,7 +287,9 @@ func (s *System) Now() uint64 {
 	return min
 }
 
-// RunStats summarises one Run window.
+// RunStats summarises one Run window. The LLC and MemFetches fields are
+// derived from the metrics-registry delta of the window; Metrics carries
+// the full delta snapshot for callers that want every counter.
 type RunStats struct {
 	Cycles     uint64    // wall-clock cycles advanced
 	Insts      []uint64  // per-core instructions retired in the window
@@ -195,6 +297,7 @@ type RunStats struct {
 	MeanIPC    float64   // arithmetic mean across cores (paper's metric)
 	LLC        hybrid.Stats
 	MemFetches uint64
+	Metrics    metrics.Snapshot // window delta of every registered metric
 }
 
 // Run advances the system by the given number of wall-clock cycles,
@@ -210,8 +313,7 @@ func (s *System) Run(cycles uint64) RunStats {
 		startInsts[i] = c.insts
 		startCycles[i] = c.cycles
 	}
-	llcBefore := s.llc.Stats
-	memBefore := s.MemFetches
+	before := s.reg.Snapshot()
 
 	for {
 		// Advance the core that is furthest behind.
@@ -229,15 +331,19 @@ func (s *System) Run(cycles uint64) RunStats {
 		for now := s.Now(); now >= s.epochEnd; {
 			s.llc.EndEpoch()
 			s.Epochs++
+			s.recordEpoch(s.epochEnd)
 			s.epochEnd += s.cfg.EpochCycles
 		}
 	}
 
+	delta := s.reg.Snapshot().Delta(before)
 	out := RunStats{
 		Cycles:     s.Now() - start,
 		Insts:      make([]uint64, len(s.cores)),
 		IPC:        make([]float64, len(s.cores)),
-		MemFetches: s.MemFetches - memBefore,
+		MemFetches: delta.Counter("sys.mem_fetches"),
+		LLC:        hybrid.StatsFromSnapshot(delta),
+		Metrics:    delta,
 	}
 	var sum float64
 	for i, c := range s.cores {
@@ -249,7 +355,6 @@ func (s *System) Run(cycles uint64) RunStats {
 		sum += out.IPC[i]
 	}
 	out.MeanIPC = sum / float64(len(s.cores))
-	out.LLC = diffStats(llcBefore, s.llc.Stats)
 	return out
 }
 
@@ -397,31 +502,6 @@ func (s *System) appOf(block uint64) Program {
 		}
 	}
 	panic(fmt.Sprintf("hier: no owner for block %#x", block))
-}
-
-func diffStats(a, b hybrid.Stats) hybrid.Stats {
-	return hybrid.Stats{
-		GetS:              b.GetS - a.GetS,
-		GetX:              b.GetX - a.GetX,
-		Hits:              b.Hits - a.Hits,
-		Misses:            b.Misses - a.Misses,
-		SRAMHits:          b.SRAMHits - a.SRAMHits,
-		NVMHits:           b.NVMHits - a.NVMHits,
-		Inserts:           b.Inserts - a.Inserts,
-		SRAMInserts:       b.SRAMInserts - a.SRAMInserts,
-		NVMInserts:        b.NVMInserts - a.NVMInserts,
-		NVMBlockWrites:    b.NVMBlockWrites - a.NVMBlockWrites,
-		NVMBytesWritten:   b.NVMBytesWritten - a.NVMBytesWritten,
-		Migrations:        b.Migrations - a.Migrations,
-		Writebacks:        b.Writebacks - a.Writebacks,
-		NVMFallbacks:      b.NVMFallbacks - a.NVMFallbacks,
-		InPlaceUpdates:    b.InPlaceUpdates - a.InPlaceUpdates,
-		InsertHCR:         b.InsertHCR - a.InsertHCR,
-		InsertLCR:         b.InsertLCR - a.InsertLCR,
-		InsertIncomp:      b.InsertIncomp - a.InsertIncomp,
-		InvalidatedOnGetX: b.InvalidatedOnGetX - a.InvalidatedOnGetX,
-		DataPathErrors:    b.DataPathErrors - a.DataPathErrors,
-	}
 }
 
 // Bank data-array occupancies in cycles (Table IV: 4-cycle SRAM D-array,

@@ -1,0 +1,119 @@
+package hier
+
+import (
+	"testing"
+
+	"repro/internal/dueling"
+	"repro/internal/hybrid"
+	"repro/internal/policy"
+)
+
+// TestWindowDeltasSumToCumulative is the windowed-accounting invariant:
+// two consecutive Run windows' registry deltas must sum exactly to the
+// cumulative counters, for every LLC counter (not just the headline ones).
+func TestWindowDeltasSumToCumulative(t *testing.T) {
+	s := testSystem(t, policy.CARWR{}, hybrid.FixedThreshold(58), 0)
+	r1 := s.Run(250_000)
+	r2 := s.Run(250_000)
+	if r1.LLC.GetS == 0 || r2.LLC.GetS == 0 {
+		t.Fatal("windows lost traffic")
+	}
+	cum := s.LLC().Stats
+	for _, name := range hybrid.StatNames() {
+		total, ok := s.Metrics().CounterValue(name)
+		if !ok {
+			t.Fatalf("counter %s not registered", name)
+		}
+		if sum := r1.Metrics.Counter(name) + r2.Metrics.Counter(name); sum != total {
+			t.Errorf("%s: window deltas %d + %d = %d, cumulative %d",
+				name, r1.Metrics.Counter(name), r2.Metrics.Counter(name),
+				r1.Metrics.Counter(name)+r2.Metrics.Counter(name), total)
+		}
+	}
+	// The registry view and the Stats struct are the same storage.
+	if v, _ := s.Metrics().CounterValue("llc.hits"); v != cum.Hits {
+		t.Errorf("registry llc.hits %d != Stats.Hits %d", v, cum.Hits)
+	}
+	// RunStats.LLC is derived from the same delta snapshot.
+	if r1.LLC.Hits != r1.Metrics.Counter("llc.hits") {
+		t.Errorf("RunStats.LLC.Hits %d != delta llc.hits %d",
+			r1.LLC.Hits, r1.Metrics.Counter("llc.hits"))
+	}
+	// sys.* counters obey the same window accounting.
+	fetches, _ := s.Metrics().CounterValue("sys.mem_fetches")
+	if r1.MemFetches+r2.MemFetches != fetches {
+		t.Errorf("mem fetch windows %d + %d != %d", r1.MemFetches, r2.MemFetches, fetches)
+	}
+}
+
+// TestEpochRingRecordsSeries checks that closing set-dueling epochs fills
+// the ring with consistent samples: indices in order, boundary cycles on
+// the epoch grid, hit/miss deltas summing to the cumulative counters, and
+// the cpth column tracking the dueling controller's history.
+func TestEpochRingRecordsSeries(t *testing.T) {
+	d := dueling.New(256, 0, 0)
+	s := testSystem(t, policy.CARWR{PolicyName: "CP_SD"}, d, 0)
+	s.Run(1_100_000) // 200k epochs -> 5 closed epochs
+	if s.Epochs < 4 {
+		t.Fatalf("only %d epochs closed", s.Epochs)
+	}
+	samples := s.EpochSamples()
+	if len(samples) != s.Epochs {
+		t.Fatalf("ring holds %d samples for %d epochs", len(samples), s.Epochs)
+	}
+	cols := s.EpochRing().Columns()
+	idx := make(map[string]int, len(cols))
+	for i, c := range cols {
+		idx[c] = i
+	}
+	var hits, misses float64
+	for i, sm := range samples {
+		if sm.Epoch != i {
+			t.Errorf("sample %d has epoch %d", i, sm.Epoch)
+		}
+		if want := uint64(i+1) * s.Config().EpochCycles; sm.Cycles != want {
+			t.Errorf("epoch %d closed at cycle %d, want %d", i, sm.Cycles, want)
+		}
+		if ipc := sm.Values[idx["mean_ipc"]]; ipc <= 0 {
+			t.Errorf("epoch %d mean IPC %v", i, ipc)
+		}
+		hits += sm.Values[idx["hits"]]
+		misses += sm.Values[idx["misses"]]
+		if cpth := int(sm.Values[idx["cpth"]]); cpth != d.History[i] {
+			t.Errorf("epoch %d cpth %d, dueling history %d", i, cpth, d.History[i])
+		}
+	}
+	// Ring hit/miss deltas cover exactly the cycles up to the last closed
+	// epoch boundary; re-running past the boundary must not break the sum.
+	stats := s.LLC().Stats
+	if hits == 0 || hits > float64(stats.Hits) || misses > float64(stats.Misses) {
+		t.Errorf("series sums hits=%v misses=%v vs cumulative %d/%d",
+			hits, misses, stats.Hits, stats.Misses)
+	}
+}
+
+// TestEpochSeriesRetrievableAfterRun: the acceptance criterion that the
+// per-epoch series is retrievable without rerunning the simulation.
+func TestEpochSeriesRetrievableAfterRun(t *testing.T) {
+	s := testSystem(t, policy.BH{}, nil, 1)
+	s.Run(700_000)
+	series := s.EpochRing().Series("nvm_bytes_written")
+	if len(series) != s.Epochs {
+		t.Fatalf("series has %d points for %d epochs", len(series), s.Epochs)
+	}
+	var sum float64
+	for _, v := range series {
+		sum += v
+	}
+	if sum == 0 {
+		t.Error("no NVM bytes recorded across epochs")
+	}
+	// BH has no dueling controller: the cpth column falls back to the
+	// fixed provider's CPthFor(0).
+	want := float64(s.LLC().Thresholds().CPthFor(0))
+	for _, v := range s.EpochRing().Series("cpth") {
+		if v != want {
+			t.Errorf("BH cpth column = %v, want fixed %v", v, want)
+		}
+	}
+}

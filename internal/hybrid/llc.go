@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bdi"
+	"repro/internal/metrics"
 	"repro/internal/nvm"
 )
 
@@ -41,6 +42,11 @@ type Config struct {
 	// 2-bit re-reference prediction values (SRRIP), which resists
 	// thrashing better on scan-heavy workloads.
 	NVMReplacement Replacement
+
+	// Metrics is the registry the LLC attaches its counters to; nil
+	// makes the LLC create its own. One registry serves one LLC — the
+	// counter names collide otherwise.
+	Metrics *metrics.Registry
 }
 
 // Replacement selects the NVM-part victim scheme.
@@ -124,6 +130,7 @@ type LLC struct {
 	noGetXInval             bool
 	data                    *dataStore
 	nvmRepl                 Replacement
+	reg                     *metrics.Registry
 
 	Stats Stats
 }
@@ -176,6 +183,11 @@ func New(cfg Config) *LLC {
 		}
 		l.initMaterialize()
 	}
+	l.reg = cfg.Metrics
+	if l.reg == nil {
+		l.reg = metrics.NewRegistry()
+	}
+	l.registerMetrics(l.reg)
 	return l
 }
 

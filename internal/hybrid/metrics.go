@@ -1,0 +1,77 @@
+package hybrid
+
+import "repro/internal/metrics"
+
+// This file adapts the LLC's Stats block to the metrics registry. The
+// Stats struct stays the hot-path storage — policies and tests keep
+// reading and incrementing plain fields — while the registry reads each
+// field through a pointer under a hierarchical name, so snapshots,
+// windowed deltas and the per-epoch series all come from one place.
+
+// statsFields maps every Stats counter to its registry name. The table is
+// the single source of truth for both registration and the snapshot-to-
+// Stats conversion, so the two cannot drift.
+var statsFields = []struct {
+	name string
+	get  func(*Stats) *uint64
+}{
+	{"llc.gets", func(s *Stats) *uint64 { return &s.GetS }},
+	{"llc.getx", func(s *Stats) *uint64 { return &s.GetX }},
+	{"llc.hits", func(s *Stats) *uint64 { return &s.Hits }},
+	{"llc.misses", func(s *Stats) *uint64 { return &s.Misses }},
+	{"llc.sram.hits", func(s *Stats) *uint64 { return &s.SRAMHits }},
+	{"llc.nvm.hits", func(s *Stats) *uint64 { return &s.NVMHits }},
+	{"llc.inserts", func(s *Stats) *uint64 { return &s.Inserts }},
+	{"llc.sram.inserts", func(s *Stats) *uint64 { return &s.SRAMInserts }},
+	{"llc.nvm.inserts", func(s *Stats) *uint64 { return &s.NVMInserts }},
+	{"llc.nvm.block_writes", func(s *Stats) *uint64 { return &s.NVMBlockWrites }},
+	{"llc.nvm.bytes_written", func(s *Stats) *uint64 { return &s.NVMBytesWritten }},
+	{"llc.migrations", func(s *Stats) *uint64 { return &s.Migrations }},
+	{"llc.writebacks", func(s *Stats) *uint64 { return &s.Writebacks }},
+	{"llc.nvm.fallbacks", func(s *Stats) *uint64 { return &s.NVMFallbacks }},
+	{"llc.inplace_updates", func(s *Stats) *uint64 { return &s.InPlaceUpdates }},
+	{"llc.inserts_hcr", func(s *Stats) *uint64 { return &s.InsertHCR }},
+	{"llc.inserts_lcr", func(s *Stats) *uint64 { return &s.InsertLCR }},
+	{"llc.inserts_incomp", func(s *Stats) *uint64 { return &s.InsertIncomp }},
+	{"llc.getx_invalidates", func(s *Stats) *uint64 { return &s.InvalidatedOnGetX }},
+	{"llc.datapath_errors", func(s *Stats) *uint64 { return &s.DataPathErrors }},
+}
+
+// StatNames returns the registry names of all LLC counters, in
+// registration order.
+func StatNames() []string {
+	out := make([]string, len(statsFields))
+	for i, f := range statsFields {
+		out[i] = f.name
+	}
+	return out
+}
+
+// StatsFromSnapshot reconstructs a Stats block from the "llc." counters
+// of a snapshot (typically a window delta).
+func StatsFromSnapshot(s metrics.Snapshot) Stats {
+	var out Stats
+	for _, f := range statsFields {
+		*f.get(&out) = s.Counter(f.name)
+	}
+	return out
+}
+
+// registerMetrics attaches the LLC's counters, derived gauges and
+// subcomponents (NVM array, threshold provider) to the registry.
+func (l *LLC) registerMetrics(reg *metrics.Registry) {
+	for _, f := range statsFields {
+		reg.Counter(f.name, f.get(&l.Stats))
+	}
+	reg.GaugeFunc("llc.hit_rate", func() float64 { return l.Stats.HitRate() })
+	if l.arr != nil {
+		l.arr.RegisterMetrics(reg)
+	}
+	if sub, ok := l.thr.(metrics.Registrable); ok {
+		sub.RegisterMetrics(reg)
+	}
+}
+
+// Metrics returns the registry holding the LLC's counters (and those of
+// every component wired to the same simulated system).
+func (l *LLC) Metrics() *metrics.Registry { return l.reg }

@@ -1,0 +1,84 @@
+package hybrid
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// TestRegistryMirrorsStats: the registry counters are read-through views
+// of the Stats fields — incrementing the struct is enough.
+func TestRegistryMirrorsStats(t *testing.T) {
+	l := newLLC(t, testCP, FixedThreshold(58), 16, 2, 4)
+	reg := l.Metrics()
+	for _, name := range StatNames() {
+		if !reg.Has(name) {
+			t.Errorf("counter %s not registered", name)
+		}
+	}
+	l.Stats.Hits = 41
+	l.Stats.Misses = 9
+	if v, _ := reg.CounterValue("llc.hits"); v != 41 {
+		t.Errorf("llc.hits = %d", v)
+	}
+	if g, ok := reg.GaugeValue("llc.hit_rate"); !ok || g != 0.82 {
+		t.Errorf("llc.hit_rate = %v, %v", g, ok)
+	}
+	// The NVM array registered its subtree on the same registry.
+	if !reg.Has("nvm.array.bytes_written") {
+		t.Error("nvm.array subtree missing")
+	}
+}
+
+// TestStatsFromSnapshotRoundTrip: converting a snapshot back to a Stats
+// block reproduces every field, so RunStats.LLC cannot drift from the
+// registry view.
+func TestStatsFromSnapshotRoundTrip(t *testing.T) {
+	l := newLLC(t, testCP, FixedThreshold(58), 16, 2, 4)
+	want := Stats{}
+	for i, f := range statsFields {
+		*f.get(&l.Stats) = uint64(100 + i)
+		*f.get(&want) = uint64(100 + i)
+	}
+	got := StatsFromSnapshot(l.Metrics().Snapshot())
+	if got != want {
+		t.Fatalf("round trip lost fields:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStatNamesHierarchy pins the naming convention: all LLC counters sit
+// under llc.*, with partition-specific ones under llc.sram.* / llc.nvm.*.
+func TestStatNamesHierarchy(t *testing.T) {
+	for _, name := range StatNames() {
+		if !strings.HasPrefix(name, "llc.") {
+			t.Errorf("%s escapes the llc. namespace", name)
+		}
+		if !metrics.ValidName(name) {
+			t.Errorf("%s is not a valid metric name", name)
+		}
+	}
+	l := newLLC(t, testCP, FixedThreshold(58), 16, 2, 4)
+	snap := l.Metrics().Snapshot()
+	if n := len(snap.Filter("llc.nvm").Counters); n < 4 {
+		t.Errorf("llc.nvm subtree has only %d counters", n)
+	}
+}
+
+// TestSharedRegistryConfig: a caller-supplied registry receives the LLC's
+// metrics, letting one registry serve a whole simulated system.
+func TestSharedRegistryConfig(t *testing.T) {
+	reg := metrics.NewRegistry()
+	l := New(Config{
+		Sets: 16, SRAMWays: 2, NVMWays: 4,
+		Policy: testBH, Endurance: testEndurance,
+		Sampler: stats.NewRNG(99), Metrics: reg,
+	})
+	if l.Metrics() != reg {
+		t.Fatal("LLC did not adopt the supplied registry")
+	}
+	if !reg.Has("llc.hits") {
+		t.Fatal("supplied registry missing LLC counters")
+	}
+}

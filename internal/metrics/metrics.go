@@ -1,0 +1,264 @@
+// Package metrics is the simulation's telemetry substrate: a hierarchical
+// registry of counters and gauges with cheap snapshot/delta semantics and
+// a per-epoch sample ring.
+//
+// The registry is deliberately read-through: a counter is registered as a
+// pointer to the owner's own uint64 field, so the simulation hot path
+// keeps incrementing a plain struct field (zero extra work, zero
+// allocations) while the registry provides the uniform, hierarchically
+// named view that reporting, windowed deltas and the epoch series are
+// built from. Derived values register as functions and are evaluated at
+// snapshot time.
+//
+// Names are dot-separated lowercase paths, e.g. "llc.nvm.block_writes",
+// "core0.ipc", "dueling.cpth". The dots carry the hierarchy; there is no
+// tree structure to maintain, and Snapshot.Filter selects subtrees by
+// prefix.
+//
+// A Registry is owned by a single simulated system and is not safe for
+// concurrent mutation with reads; the experiment runners that parallelise
+// across simulations give each simulation its own registry.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registrable is implemented by components that can attach their metrics
+// to a registry (e.g. the set-dueling controller, the NVM array). It lets
+// owners wire subcomponents without knowing their concrete types.
+type Registrable interface {
+	RegisterMetrics(r *Registry)
+}
+
+type counterEntry struct {
+	name string
+	read func() uint64
+}
+
+type gaugeEntry struct {
+	name string
+	read func() float64
+}
+
+// Registry holds the named counters and gauges of one simulated system.
+// The zero value is not usable; use NewRegistry.
+type Registry struct {
+	names    map[string]struct{}
+	counters []counterEntry
+	gauges   []gaugeEntry
+	hooks    []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]struct{})}
+}
+
+func (r *Registry) claim(name string) {
+	if !ValidName(name) {
+		panic(fmt.Sprintf("metrics: invalid name %q", name))
+	}
+	if _, dup := r.names[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", name))
+	}
+	r.names[name] = struct{}{}
+}
+
+// ValidName reports whether name is a well-formed metric path: non-empty
+// dot-separated segments of lowercase letters, digits and underscores.
+func ValidName(name string) bool {
+	if name == "" {
+		return false
+	}
+	segLen := 0
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '.':
+			if segLen == 0 {
+				return false
+			}
+			segLen = 0
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+			segLen++
+		default:
+			return false
+		}
+	}
+	return segLen > 0
+}
+
+// Counter registers v as a monotonically increasing counter. The owner
+// keeps incrementing *v directly; the registry only reads it.
+func (r *Registry) Counter(name string, v *uint64) {
+	r.CounterFunc(name, func() uint64 { return *v })
+}
+
+// CounterFunc registers a derived counter evaluated at snapshot time.
+func (r *Registry) CounterFunc(name string, read func() uint64) {
+	r.claim(name)
+	r.counters = append(r.counters, counterEntry{name, read})
+}
+
+// Gauge registers v as a point-in-time value read through the pointer.
+func (r *Registry) Gauge(name string, v *float64) {
+	r.GaugeFunc(name, func() float64 { return *v })
+}
+
+// GaugeFunc registers a derived gauge evaluated at snapshot time.
+func (r *Registry) GaugeFunc(name string, read func() float64) {
+	r.claim(name)
+	r.gauges = append(r.gauges, gaugeEntry{name, read})
+}
+
+// OnSnapshot registers a hook run at the start of every Snapshot. A
+// component whose derived metrics share one expensive computation (e.g.
+// a pass over all NVM frames) recomputes it once here and lets its
+// gauges read the cached result.
+func (r *Registry) OnSnapshot(hook func()) {
+	r.hooks = append(r.hooks, hook)
+}
+
+// CounterReader returns a function reading one registered counter, for
+// callers that sample a few counters frequently (e.g. at every epoch
+// boundary) and must not pay for a full snapshot. OnSnapshot hooks do
+// not run; derived counters that depend on them are the caller's risk.
+func (r *Registry) CounterReader(name string) (func() uint64, bool) {
+	for _, c := range r.counters {
+		if c.name == name {
+			return c.read, true
+		}
+	}
+	return nil, false
+}
+
+// Has reports whether a metric with the given name is registered.
+func (r *Registry) Has(name string) bool {
+	_, ok := r.names[name]
+	return ok
+}
+
+// Names returns all registered metric names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.names))
+	for n := range r.names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CounterValue evaluates one registered counter by name.
+func (r *Registry) CounterValue(name string) (uint64, bool) {
+	for _, c := range r.counters {
+		if c.name == name {
+			return c.read(), true
+		}
+	}
+	return 0, false
+}
+
+// GaugeValue evaluates one registered gauge by name. It does not run the
+// OnSnapshot hooks, so hook-maintained gauges return the value cached by
+// the most recent Snapshot; take a Snapshot first when freshness matters.
+func (r *Registry) GaugeValue(name string) (float64, bool) {
+	for _, g := range r.gauges {
+		if g.name == name {
+			return g.read(), true
+		}
+	}
+	return 0, false
+}
+
+// Snapshot captures every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	for _, hook := range r.hooks {
+		hook()
+	}
+	s := Snapshot{
+		Counters: make(map[string]uint64, len(r.counters)),
+		Gauges:   make(map[string]float64, len(r.gauges)),
+	}
+	for _, c := range r.counters {
+		s.Counters[c.name] = c.read()
+	}
+	for _, g := range r.gauges {
+		s.Gauges[g.name] = g.read()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time capture of a registry. Snapshots are plain
+// values: they stay valid after the registry moves on.
+type Snapshot struct {
+	Counters map[string]uint64
+	Gauges   map[string]float64
+}
+
+// Counter returns the captured value of a counter (zero when absent).
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// Gauge returns the captured value of a gauge (zero when absent).
+func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
+
+// Delta returns a snapshot whose counters hold s minus prev (counters
+// absent from prev pass through unchanged) and whose gauges keep the
+// later value from s. Counters that shrank — a mid-window reset — clamp
+// to zero rather than wrapping.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters: make(map[string]uint64, len(s.Counters)),
+		Gauges:   make(map[string]float64, len(s.Gauges)),
+	}
+	for name, v := range s.Counters {
+		if p, ok := prev.Counters[name]; ok && p <= v {
+			out.Counters[name] = v - p
+		} else if ok {
+			out.Counters[name] = 0
+		} else {
+			out.Counters[name] = v
+		}
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	return out
+}
+
+// Filter returns the subtree of the snapshot whose names equal prefix or
+// start with prefix + ".".
+func (s Snapshot) Filter(prefix string) Snapshot {
+	match := func(name string) bool {
+		if name == prefix {
+			return true
+		}
+		return len(name) > len(prefix) && name[:len(prefix)] == prefix && name[len(prefix)] == '.'
+	}
+	out := Snapshot{Counters: make(map[string]uint64), Gauges: make(map[string]float64)}
+	for name, v := range s.Counters {
+		if match(name) {
+			out.Counters[name] = v
+		}
+	}
+	for name, v := range s.Gauges {
+		if match(name) {
+			out.Gauges[name] = v
+		}
+	}
+	return out
+}
+
+// Names returns the snapshot's metric names, sorted.
+func (s Snapshot) Names() []string {
+	out := make([]string, 0, len(s.Counters)+len(s.Gauges))
+	for n := range s.Counters {
+		out = append(out, n)
+	}
+	for n := range s.Gauges {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -88,6 +88,9 @@ type Frame struct {
 	// phaseWritten counts bytes written to this frame during the current
 	// simulation phase; the forecast turns it into a write rate.
 	phaseWritten uint64
+	// totalWritten counts bytes written over the frame's whole life; it
+	// survives ResetPhase and feeds the metrics registry.
+	totalWritten uint64
 }
 
 // NewFrame samples per-byte endurance from model using s and returns a
@@ -169,6 +172,7 @@ func (f *Frame) RecordWrite(ecbBytes int) int {
 		return 0
 	}
 	f.phaseWritten += uint64(ecbBytes)
+	f.totalWritten += uint64(ecbBytes)
 	return f.AddWear(float64(ecbBytes) / float64(f.live))
 }
 
@@ -211,6 +215,13 @@ func (f *Frame) AdvanceTo(w float64) int {
 
 // PhaseWritten returns bytes written to the frame this simulation phase.
 func (f *Frame) PhaseWritten() uint64 { return f.phaseWritten }
+
+// TotalWritten returns bytes ever written to the frame (not reset by
+// ResetPhase).
+func (f *Frame) TotalWritten() uint64 { return f.totalWritten }
+
+// FaultyBytes returns the number of disabled bytes in the frame.
+func (f *Frame) FaultyBytes() int { return FrameBytes - f.live }
 
 // ResetPhase clears the phase byte-write counter.
 func (f *Frame) ResetPhase() { f.phaseWritten = 0 }

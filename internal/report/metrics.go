@@ -1,0 +1,40 @@
+package report
+
+import "repro/internal/metrics"
+
+// Bridges from the metrics registry to the report sink: a snapshot (or
+// windowed delta) becomes a two-column metric/value table, and the
+// per-epoch sample ring becomes a time-series table. Every cmd tool's
+// counter output goes through these, so the registry's hierarchical names
+// are the report vocabulary.
+
+// SnapshotTable renders a metrics snapshot as a metric/value table, names
+// sorted. Counters print as integers, gauges via FormatMetricValue.
+func SnapshotTable(title string, s metrics.Snapshot) *Table {
+	t := New(title, "metric", "value")
+	for _, name := range s.Names() {
+		if v, ok := s.Counters[name]; ok {
+			t.AddRow(name, FormatCount(v))
+			continue
+		}
+		t.AddRow(name, FormatMetricValue(s.Gauges[name]))
+	}
+	return t
+}
+
+// SeriesTable renders an epoch ring as a time-series table: one row per
+// retained sample (oldest first) with the epoch index, its closing cycle
+// and the ring's columns.
+func SeriesTable(title string, ring *metrics.EpochRing) *Table {
+	cols := append([]string{"epoch", "cycles"}, ring.Columns()...)
+	t := New(title, cols...)
+	for _, s := range ring.Samples() {
+		row := make([]interface{}, 0, len(cols))
+		row = append(row, s.Epoch, s.Cycles)
+		for _, v := range s.Values {
+			row = append(row, FormatMetricValue(v))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

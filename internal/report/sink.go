@@ -1,0 +1,266 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file is the shared report sink: every cmd tool assembles a Report
+// — a titled set of scalar fields plus zero or more tables — and renders
+// it as an aligned text page, CSV or JSON through one encoder set, so the
+// output schema is defined here once and pinned by golden-file tests.
+
+// Format selects a report encoding.
+type Format int
+
+// Report encodings.
+const (
+	Text Format = iota
+	CSV
+	JSON
+)
+
+// FormatOf maps the conventional -json/-csv flag pair to a Format (JSON
+// wins when both are set).
+func FormatOf(jsonOut, csvOut bool) Format {
+	switch {
+	case jsonOut:
+		return JSON
+	case csvOut:
+		return CSV
+	default:
+		return Text
+	}
+}
+
+// Field is one scalar result: a key and a typed value.
+type Field struct {
+	Key   string
+	Value interface{}
+}
+
+// Report is a complete tool result: a title, ordered scalar fields and
+// ordered tables. The zero value is usable.
+type Report struct {
+	Title  string
+	fields []Field
+	tables []*Table
+}
+
+// NewReport creates an empty report with the given title.
+func NewReport(title string) *Report { return &Report{Title: title} }
+
+// AddField appends a scalar result. Keys should be unique snake_case
+// identifiers; insertion order is the output order in every encoding.
+func (r *Report) AddField(key string, value interface{}) *Report {
+	r.fields = append(r.fields, Field{Key: key, Value: value})
+	return r
+}
+
+// AddTable appends a table to the report.
+func (r *Report) AddTable(t *Table) *Report {
+	r.tables = append(r.tables, t)
+	return r
+}
+
+// Fields returns the report's scalar fields in insertion order.
+func (r *Report) Fields() []Field { return r.fields }
+
+// Tables returns the report's tables in insertion order.
+func (r *Report) Tables() []*Table { return r.tables }
+
+// Write renders the report in the selected format.
+func (r *Report) Write(w io.Writer, f Format) error {
+	switch f {
+	case CSV:
+		return r.WriteCSV(w)
+	case JSON:
+		return r.WriteJSON(w)
+	default:
+		return r.WriteText(w)
+	}
+}
+
+// formatValue renders a field value the way tables render cells, so the
+// text and CSV encodings agree with Table.AddRow.
+func formatValue(v interface{}) string {
+	switch x := v.(type) {
+	case float64:
+		return fmt.Sprintf("%.4f", x)
+	case float32:
+		return fmt.Sprintf("%.4f", x)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// WriteText renders the title, an aligned key/value block and each table,
+// separated by blank lines.
+func (r *Report) WriteText(w io.Writer) error {
+	var b strings.Builder
+	if r.Title != "" {
+		fmt.Fprintln(&b, r.Title)
+	}
+	width := 0
+	for _, f := range r.fields {
+		if len(f.Key) > width {
+			width = len(f.Key)
+		}
+	}
+	for _, f := range r.fields {
+		fmt.Fprintf(&b, "%-*s  %s\n", width, f.Key, formatValue(f.Value))
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for i, t := range r.tables {
+		if len(r.fields) > 0 || r.Title != "" || i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := t.WriteText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the report as a single CSV stream: one
+// "field,<key>,<value>" record per scalar, then for each table a
+// "table,<title>" record, its header record and its data records.
+func (r *Report) WriteCSV(w io.Writer) error {
+	for _, f := range r.fields {
+		if err := writeCSVRecord(w, []string{"field", f.Key, formatValue(f.Value)}); err != nil {
+			return err
+		}
+	}
+	for _, t := range r.tables {
+		if err := writeCSVRecord(w, []string{"table", t.Title}); err != nil {
+			return err
+		}
+		if err := t.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the report as one stable JSON object:
+//
+//	{"title": ..., "fields": {key: value, ...},
+//	 "tables": [{"title": ..., "columns": [...], "rows": [[...], ...]}]}
+//
+// Field order follows insertion order; field values keep their Go types
+// (numbers stay numbers). Table cells are the formatted strings the other
+// encodings print. The object is hand-assembled so the key order — the
+// schema consumers script against — cannot silently change.
+func (r *Report) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("{\n  \"title\": ")
+	b.Write(jsonScalar(r.Title))
+	b.WriteString(",\n  \"fields\": {")
+	for i, f := range r.fields {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("\n    ")
+		b.Write(jsonScalar(f.Key))
+		b.WriteString(": ")
+		b.Write(jsonScalar(f.Value))
+	}
+	if len(r.fields) > 0 {
+		b.WriteString("\n  ")
+	}
+	b.WriteString("},\n  \"tables\": [")
+	for i, t := range r.tables {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("\n    {\"title\": ")
+		b.Write(jsonScalar(t.Title))
+		b.WriteString(", \"columns\": ")
+		b.Write(jsonStrings(t.Columns))
+		b.WriteString(", \"rows\": [")
+		for j, row := range t.rows {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString("\n      ")
+			b.Write(jsonStrings(row))
+		}
+		if len(t.rows) > 0 {
+			b.WriteString("\n    ")
+		}
+		b.WriteString("]}")
+	}
+	if len(r.tables) > 0 {
+		b.WriteString("\n  ")
+	}
+	b.WriteString("]\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonScalar encodes one scalar value. Non-finite floats (which
+// encoding/json rejects) are emitted as nulls; anything unencodable
+// falls back to its string form.
+func jsonScalar(v interface{}) []byte {
+	switch x := v.(type) {
+	case float64:
+		if math.IsInf(x, 0) || math.IsNaN(x) {
+			return []byte("null")
+		}
+	case float32:
+		if math.IsInf(float64(x), 0) || math.IsNaN(float64(x)) {
+			return []byte("null")
+		}
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		out, _ = json.Marshal(fmt.Sprintf("%v", v))
+	}
+	return out
+}
+
+// jsonStrings encodes a string slice on one line.
+func jsonStrings(xs []string) []byte {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, s := range xs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.Write(jsonScalar(s))
+	}
+	b.WriteByte(']')
+	return []byte(b.String())
+}
+
+// writeCSVRecord emits one properly escaped CSV record.
+func writeCSVRecord(w io.Writer, rec []string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rec); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatCount renders an integral quantity (counter values in tables).
+func FormatCount(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// FormatMetricValue renders a float the way the series and snapshot
+// tables print: integral values without a fraction, others with four
+// decimals.
+func FormatMetricValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 4, 64)
+}

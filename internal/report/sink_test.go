@@ -1,0 +1,160 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenReport builds a fixed report exercising every encoder feature:
+// typed fields (string, int, uint64, float, bool, +Inf), a plain table, a
+// registry-snapshot table and an epoch-series table.
+func goldenReport() *Report {
+	reg := metrics.NewRegistry()
+	var hits, misses uint64 = 4810, 231
+	reg.Counter("llc.hits", &hits)
+	reg.Counter("llc.misses", &misses)
+	reg.GaugeFunc("llc.hit_rate", func() float64 {
+		return float64(hits) / float64(hits+misses)
+	})
+
+	ring := metrics.NewEpochRing(4, "mean_ipc", "nvm_bytes_written", "cpth")
+	ring.Record(0, 2_000_000, 1.25, 8192, 58)
+	ring.Record(1, 4_000_000, 1.5, 4096, 37)
+
+	tab := New("policies", "policy", "ipc", "life")
+	tab.AddRow("BH", 0.9656, 2)
+	tab.AddRow(`CP"SD,x`, float32(0.8619), "inf")
+
+	r := NewReport("golden demo")
+	r.AddField("policy", "CP_SD")
+	r.AddField("mix", 4)
+	r.AddField("nvm_bytes_written", uint64(123456789))
+	r.AddField("mean_ipc", 1.23456)
+	r.AddField("prefetch", false)
+	r.AddField("lifetime_months", math.Inf(1))
+	r.AddTable(tab)
+	r.AddTable(SnapshotTable("window metrics", reg.Snapshot()))
+	r.AddTable(SeriesTable("epoch series", ring))
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestGoldenEncodings pins the report schema: any change to the text, CSV
+// or JSON encoders shows up as a diff against testdata/.
+func TestGoldenEncodings(t *testing.T) {
+	for _, tc := range []struct {
+		file   string
+		format Format
+	}{
+		{"golden.txt", Text},
+		{"golden.csv", CSV},
+		{"golden.json", JSON},
+	} {
+		var buf bytes.Buffer
+		if err := goldenReport().Write(&buf, tc.format); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, tc.file, buf.Bytes())
+	}
+}
+
+// TestJSONParses verifies the hand-assembled JSON is valid and keeps the
+// documented shape (typed field values, string table cells).
+func TestJSONParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title  string                 `json:"title"`
+		Fields map[string]interface{} `json:"fields"`
+		Tables []struct {
+			Title   string     `json:"title"`
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Title != "golden demo" {
+		t.Errorf("title = %q", doc.Title)
+	}
+	if v, ok := doc.Fields["mean_ipc"].(float64); !ok || v != 1.23456 {
+		t.Errorf("mean_ipc = %v (numbers must stay numbers)", doc.Fields["mean_ipc"])
+	}
+	if doc.Fields["lifetime_months"] != nil {
+		t.Errorf("+Inf field = %v, want null", doc.Fields["lifetime_months"])
+	}
+	if len(doc.Tables) != 3 || len(doc.Tables[0].Rows) != 2 {
+		t.Fatalf("tables shape: %+v", doc.Tables)
+	}
+	if doc.Tables[2].Columns[0] != "epoch" || doc.Tables[2].Columns[1] != "cycles" {
+		t.Errorf("series columns = %v", doc.Tables[2].Columns)
+	}
+}
+
+// TestFormatOf pins the flag-pair mapping the cmds rely on.
+func TestFormatOf(t *testing.T) {
+	if FormatOf(false, false) != Text || FormatOf(false, true) != CSV ||
+		FormatOf(true, false) != JSON || FormatOf(true, true) != JSON {
+		t.Fatal("FormatOf mapping changed")
+	}
+}
+
+// TestCSVStream checks the record-tagged CSV layout: field records first,
+// then per-table "table" marker, header and rows.
+func TestCSVStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenReport().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "field,policy,CP_SD" {
+		t.Errorf("first record %q", lines[0])
+	}
+	if lines[6] != "table,policies" || lines[7] != "policy,ipc,life" {
+		t.Errorf("table marker/header: %q / %q", lines[6], lines[7])
+	}
+}
+
+func TestFormatMetricValue(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {12345, "12345"}, {1.5, "1.5000"}, {-3, "-3"}, {0.125, "0.1250"},
+	} {
+		if got := FormatMetricValue(tc.in); got != tc.want {
+			t.Errorf("FormatMetricValue(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
