@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check ci bench bench-figures validate experiments clean
+.PHONY: all build test vet fmt-check ci fuzz-smoke faultstudy bench bench-figures validate experiments clean
 
 all: build vet test
 
@@ -24,6 +24,18 @@ fmt-check:
 # Mirrors .github/workflows/ci.yml so the same gate runs locally.
 ci: fmt-check vet build
 	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
+	$(GO) run ./cmd/faultstudy -quick
+
+# Ten seconds of coverage-guided fuzzing per target, on top of the
+# checked-in corpora (which always replay as part of go test).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzBDIRoundTrip$$' -fuzztime=10s ./internal/bdi
+	$(GO) test -run='^$$' -fuzz='^FuzzTraceParse$$' -fuzztime=10s ./internal/trace
+
+# Deterministic fault-injection degradation study (quick preset).
+faultstudy:
+	$(GO) run ./cmd/faultstudy -quick
 
 # Full benchmark suite: one benchmark per paper table/figure, plus the
 # ablation/extension benches and the substrate microbenchmarks.

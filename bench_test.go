@@ -116,7 +116,7 @@ var (
 func cpthSweep(b *testing.B) experiments.CPthSweep {
 	b.Helper()
 	sweepOnce.Do(func() {
-		sweepVal, sweepErr = experiments.Fig6And7CPthSweep(benchBase(), benchMixes, benchWarmup, benchMeasure)
+		sweepVal, _, sweepErr = experiments.Fig6And7CPthSweep(benchBase(), benchMixes, benchWarmup, benchMeasure)
 	})
 	if sweepErr != nil {
 		b.Fatal(sweepErr)
@@ -194,7 +194,7 @@ func BenchmarkFig9ThTradeoff(b *testing.B) {
 	var pts []experiments.ThPoint
 	var err error
 	for i := 0; i < b.N; i++ {
-		pts, err = experiments.Fig9ThTradeoff(benchBase(), benchMixes,
+		pts, _, err = experiments.Fig9ThTradeoff(benchBase(), benchMixes,
 			[]float64{0, 4, 8}, []float64{1.0, 0.8}, 5, benchWarmup, benchMeasure)
 		if err != nil {
 			b.Fatal(err)
@@ -226,7 +226,7 @@ func runForecastBench(b *testing.B, mutate func(*core.Config), specs []experimen
 	var fs []experiments.PolicyForecast
 	var err error
 	for i := 0; i < b.N; i++ {
-		fs, err = experiments.ForecastComparison(base, specs, benchMixes, quickForecastCfg())
+		fs, _, err = experiments.ForecastComparison(base, specs, benchMixes, quickForecastCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -464,7 +464,7 @@ func BenchmarkExtensionInterSetRotation(b *testing.B) {
 		specs := []experiments.ForecastSpec{
 			{Label: "CP_SD", Mutate: func(c *core.Config) { c.PolicyName = "CP_SD" }},
 		}
-		fs, err := experiments.ForecastComparison(benchBase(), specs, benchMixes, fcfg)
+		fs, _, err := experiments.ForecastComparison(benchBase(), specs, benchMixes, fcfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -488,7 +488,7 @@ func BenchmarkEnergyComparison(b *testing.B) {
 	var rows []experiments.EnergyRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.EnergyComparison(benchBase(),
+		rows, _, err = experiments.EnergyComparison(benchBase(),
 			[]string{"BH", "BH_CP", "LHybrid", "TAP", "CP_SD"}, benchMixes,
 			benchWarmup, benchMeasure)
 		if err != nil {
@@ -583,7 +583,7 @@ func BenchmarkPerAppStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchBase()
 		cfg.Scale = 0.08
-		rows, err = experiments.PerAppStudy(cfg, "CA", 300_000, 1_200_000)
+		rows, _, err = experiments.PerAppStudy(cfg, "CA", 300_000, 1_200_000)
 		if err != nil {
 			b.Fatal(err)
 		}

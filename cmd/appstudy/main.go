@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/report"
@@ -28,7 +29,13 @@ func main() {
 	flag.Parse()
 
 	cfg.CPth = *cpth
-	rows, err := experiments.PerAppStudy(cfg, *policyName, *warmup, *measure)
+	probe := cfg
+	probe.PolicyName = *policyName
+	if err := probe.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "appstudy:", err)
+		os.Exit(1)
+	}
+	rows, results, err := experiments.PerAppStudy(cfg, *policyName, *warmup, *measure)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "appstudy:", err)
 		os.Exit(1)
@@ -41,6 +48,13 @@ func main() {
 	}
 	if err := tab.Write(os.Stdout, *csvOut); err != nil {
 		fmt.Fprintln(os.Stderr, "appstudy:", err)
+		os.Exit(1)
+	}
+	if fails := cliutil.Failures(results); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "appstudy: %d of %d applications failed:\n", len(fails), len(results))
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "  %s [%s]: %v\n", f.Name, f.Kind(), f.Err)
+		}
 		os.Exit(1)
 	}
 }

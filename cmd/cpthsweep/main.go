@@ -37,6 +37,9 @@ func main() {
 
 	cfg.Scale = *scale
 	cfg.LLCSets = *sets
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
 	mixes, err := cliutil.ParseMixes(*mixesFlag)
 	if err != nil {
 		fatal(err)
@@ -60,7 +63,7 @@ func main() {
 }
 
 func runFig67(cfg core.Config, mixes []int, warmup, measure uint64) (*report.Report, error) {
-	sweep, err := experiments.Fig6And7CPthSweep(cfg, mixes, warmup, measure)
+	sweep, results, err := experiments.Fig6And7CPthSweep(cfg, mixes, warmup, measure)
 	if err != nil {
 		return nil, err
 	}
@@ -77,6 +80,7 @@ func runFig67(cfg core.Config, mixes []int, warmup, measure uint64) (*report.Rep
 			sweep.NormalizedBytes(r.CARWRNVMBytes))
 	}
 	rep.AddTable(tab)
+	cliutil.AddRunSummary(rep, results)
 	return rep, nil
 }
 

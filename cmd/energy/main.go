@@ -31,13 +31,16 @@ func main() {
 	flag.Parse()
 
 	cfg.Scale = *scale
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
 	mixes, err := cliutil.ParseMixes(*mixesFlag)
 	if err != nil {
 		fatal(err)
 	}
 
 	policies := []string{"BH", "BH_CP", "LHybrid", "TAP", "CA_RWR", "CP_SD", "CP_SD_Th"}
-	rows, err := experiments.EnergyComparison(cfg, policies, mixes, *warmup, *measure)
+	rows, results, err := experiments.EnergyComparison(cfg, policies, mixes, *warmup, *measure)
 	if err != nil {
 		fatal(err)
 	}
@@ -51,6 +54,7 @@ func main() {
 			b.SRAMLeak, b.NVMLeak, b.Total(), r.RelativeToBH, r.PerKI*1e3, r.MeanIPC)
 	}
 	rep.AddTable(tab)
+	cliutil.AddRunSummary(rep, results)
 	if err := rep.Write(os.Stdout, report.FormatOf(*jsonOut, *csvOut)); err != nil {
 		fatal(err)
 	}

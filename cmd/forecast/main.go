@@ -56,8 +56,11 @@ func main() {
 	cfg.NVMLatencyFactor = *nvmlat
 	cfg.Scale = *scale
 	cfg.LLCSets = *sets
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
 
-	specs, err := cliutil.SelectForecastSpecs(*policies)
+	specs, err := experiments.SelectForecastSpecs(*policies)
 	if err != nil {
 		fatal(err)
 	}
@@ -72,7 +75,7 @@ func main() {
 	fcfg.CapacityStep = *step
 	fcfg.InterSetRotation = *rotate
 
-	fs, err := experiments.ForecastComparison(cfg, specs, mixes, fcfg)
+	fs, results, err := experiments.ForecastComparison(cfg, specs, mixes, fcfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -132,6 +135,7 @@ func main() {
 		}
 		rep.AddTable(traj)
 	}
+	cliutil.AddRunSummary(rep, results)
 	if err := rep.Write(os.Stdout, report.FormatOf(*jsonOut, *csvOut)); err != nil {
 		fatal(err)
 	}

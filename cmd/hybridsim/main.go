@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -46,6 +47,7 @@ func main() {
 	allMetrics := flag.Bool("metrics", false, "include the full registry delta of the measured window")
 	prefetch := flag.Bool("prefetch", false, "enable the L2 stride prefetcher")
 	rrip := flag.Bool("rrip", false, "use fit-RRIP NVM replacement instead of fit-LRU")
+	checkEvery := flag.Uint64("checkevery", 0, "run the invariant checker every N LLC accesses (0 disables)")
 	flag.Parse()
 
 	cfg.PolicyName = *policyName
@@ -62,6 +64,10 @@ func main() {
 	cfg.NVMLatencyFactor = *nvmlat
 	cfg.EnablePrefetcher = *prefetch
 	cfg.NVMRRIP = *rrip
+	cfg.CheckEvery = *checkEvery
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
 
 	sys, err := cfg.Build()
 	if err != nil {
@@ -96,8 +102,16 @@ func main() {
 	if *epochs {
 		rep.AddTable(report.SeriesTable("epoch series", sys.EpochRing()))
 	}
+	var checkErr error
+	if chk, ok := sys.AccessProbe().(*check.Checker); ok {
+		chk.ReportInto(rep)
+		checkErr = chk.Err()
+	}
 	if err := rep.Write(os.Stdout, report.FormatOf(*jsonOut, *csvOut)); err != nil {
 		fatal(err)
+	}
+	if checkErr != nil {
+		fatal(checkErr)
 	}
 }
 

@@ -26,6 +26,9 @@ func main() {
 	flag.Parse()
 
 	cfg.Scale = *scale
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
 	mixes, err := cliutil.ParseMixes(*mixesFlag)
 	if err != nil {
 		fatal(err)
@@ -33,7 +36,7 @@ func main() {
 
 	ths := []float64{0, 2, 4, 6, 8}
 	caps := []float64{1.0, 0.9, 0.8}
-	pts, err := experiments.Fig9ThTradeoff(cfg, mixes, ths, caps, *tw, *warmup, *measure)
+	pts, results, err := experiments.Fig9ThTradeoff(cfg, mixes, ths, caps, *tw, *warmup, *measure)
 	if err != nil {
 		fatal(err)
 	}
@@ -43,6 +46,7 @@ func main() {
 		tab.AddRow(fmt.Sprintf("%.0f%%", p.Capacity*100), fmt.Sprintf("%g", p.Th), p.Hits, p.NVMBytes)
 	}
 	rep.AddTable(tab)
+	cliutil.AddRunSummary(rep, results)
 	if err := rep.Write(os.Stdout, report.FormatOf(*jsonOut, *csvOut)); err != nil {
 		fatal(err)
 	}

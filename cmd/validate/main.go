@@ -14,7 +14,9 @@ import (
 	"os"
 	"reflect"
 
+	invcheck "repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/hier"
 	"repro/internal/hybrid"
 	"repro/internal/nvm"
@@ -48,6 +50,8 @@ func main() {
 	check("trace replay fidelity", traceFidelity(cycles))
 	check("LLC invariants, all policies", invariants(cycles))
 	check("determinism", determinism(cycles))
+	check("runtime invariant checker", runtimeChecker(cycles))
+	check("fault campaign to 50% capacity", faultCampaign(cycles))
 
 	if failed {
 		os.Exit(1)
@@ -147,18 +151,98 @@ func invariants(cycles uint64) error {
 }
 
 func determinism(cycles uint64) error {
-	run := func() core.Summary {
+	run := func() (core.Summary, error) {
 		cfg := core.QuickConfig()
 		sys, err := cfg.Build()
 		if err != nil {
-			panic(err)
+			return core.Summary{}, err
 		}
-		return core.Measure(sys, cycles/4, cycles)
+		return core.Measure(sys, cycles/4, cycles), nil
+	}
+	a, err := run()
+	if err != nil {
+		return err
+	}
+	b, err := run()
+	if err != nil {
+		return err
 	}
 	// DeepEqual covers the full registry delta too, so every counter and
 	// gauge — not just the summary scalars — must reproduce exactly.
-	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+	if !reflect.DeepEqual(a, b) {
 		return fmt.Errorf("two identical runs produced different results")
+	}
+	return nil
+}
+
+// runtimeChecker runs a full simulation with the invariant checker
+// attached at a tight interval and requires a clean report.
+func runtimeChecker(cycles uint64) error {
+	cfg := core.QuickConfig()
+	cfg.CheckEvery = 1000
+	sys, err := cfg.Build()
+	if err != nil {
+		return err
+	}
+	sys.Run(cycles)
+	chk := sys.AccessProbe().(*invcheck.Checker)
+	if chk.Runs() == 0 {
+		return fmt.Errorf("checker never ran")
+	}
+	return chk.Err()
+}
+
+// faultCampaign degrades the NVM array to 50% effective capacity in
+// steps, holding the full strict invariant suite at every step, and
+// requires the degradation trajectory to be identical across two
+// same-seed runs.
+func faultCampaign(cycles uint64) error {
+	run := func() ([]faultinject.StepResult, error) {
+		cfg := core.QuickConfig()
+		sys, err := cfg.Build()
+		if err != nil {
+			return nil, err
+		}
+		sys.Run(cycles / 4)
+		camp, err := faultinject.NewCampaign(sys.LLC().Array(), faultinject.CapacityRamp(7, 0.9, 0.5, 0.1))
+		if err != nil {
+			return nil, err
+		}
+		var steps []faultinject.StepResult
+		for {
+			res, ok := camp.Next()
+			if !ok {
+				break
+			}
+			sys.LLC().InvalidateUnfit()
+			if vs := invcheck.LLC(sys.LLC(), true); len(vs) > 0 {
+				return nil, fmt.Errorf("step %d: %s", res.Index, vs[0])
+			}
+			if vs := invcheck.Array(sys.LLC().Array()); len(vs) > 0 {
+				return nil, fmt.Errorf("step %d: %s", res.Index, vs[0])
+			}
+			sys.Run(cycles / 8)
+			steps = append(steps, res)
+		}
+		if len(steps) == 0 {
+			return nil, fmt.Errorf("campaign ran no steps")
+		}
+		last := steps[len(steps)-1]
+		if last.Capacity > 0.5 {
+			return nil, fmt.Errorf("final capacity %.3f, want <= 0.5", last.Capacity)
+		}
+		return steps, nil
+	}
+	a, err := run()
+	if err != nil {
+		return err
+	}
+	b, err := run()
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(a, b) {
+		return fmt.Errorf("same-seed fault campaigns diverged")
 	}
 	return nil
 }

@@ -35,6 +35,9 @@ func main() {
 
 	cfg.PolicyName = *policyName
 	cfg.MixID = *mix - 1
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
 	sys, err := cfg.Build()
 	if err != nil {
 		fatal(err)

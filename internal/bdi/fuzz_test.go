@@ -5,12 +5,12 @@ import (
 	"testing"
 )
 
-// FuzzRoundtrip fuzzes the compressor with arbitrary 64-byte blocks:
+// FuzzBDIRoundTrip fuzzes the compressor with arbitrary 64-byte blocks:
 // compression must always pick a valid encoding, the payload must match
 // the encoding's size, and decompression must restore the block exactly.
-// Run with `go test -fuzz FuzzRoundtrip ./internal/bdi`; the seed corpus
+// Run with `go test -fuzz FuzzBDIRoundTrip ./internal/bdi`; the seed corpus
 // covers every encoding class.
-func FuzzRoundtrip(f *testing.F) {
+func FuzzBDIRoundTrip(f *testing.F) {
 	seed := func(fill func(b []byte)) {
 		b := make([]byte, BlockSize)
 		fill(b)

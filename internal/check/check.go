@@ -1,0 +1,287 @@
+// Package check is the runtime invariant checker for the hybrid LLC and
+// its NVM array. The fault-injection campaigns of package faultinject
+// push the simulated cache into heavily degraded states the normal test
+// suite never reaches; this package re-verifies the structural
+// invariants there, either as standalone suites (LLC, Array,
+// MetricsConsistency) or continuously during a run through a Checker
+// attached as the hierarchy's access probe.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/bdi"
+	"repro/internal/hier"
+	"repro/internal/hybrid"
+	"repro/internal/metrics"
+	"repro/internal/nvm"
+	"repro/internal/report"
+)
+
+// Violation is one broken invariant: which one, and the evidence.
+type Violation struct {
+	Invariant string // short invariant name, e.g. "strict-fit"
+	Detail    string
+}
+
+// String renders "invariant: detail".
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+func violatef(inv, format string, args ...interface{}) Violation {
+	return Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)}
+}
+
+// LLC verifies the cache directory: the structural invariants of
+// hybrid.CheckInvariants, set occupancy bounds, LRU stack
+// well-formedness (valid entries carry distinct timestamps in (0,
+// Tick]), statistics conservation across the insert/migration paths,
+// and — with strictFit, which is only guaranteed right after an
+// InvalidateUnfit pass — every NVM-resident block fitting its frame's
+// live capacity.
+func LLC(l *hybrid.LLC, strictFit bool) []Violation {
+	var vs []Violation
+	if err := l.CheckInvariants(); err != nil {
+		vs = append(vs, Violation{Invariant: "structure", Detail: err.Error()})
+	}
+	ways := l.SRAMWays() + l.NVMWays()
+	tick := l.Tick()
+	seen := make(map[uint64]string)
+	for set := 0; set < l.Sets(); set++ {
+		if occ := l.Occupancy(set); occ > ways {
+			vs = append(vs, violatef("occupancy", "set %d holds %d entries in %d ways", set, occ, ways))
+		}
+		for w := 0; w < ways; w++ {
+			e := l.ViewEntry(set, w)
+			if !e.Valid {
+				continue
+			}
+			if e.Last == 0 || e.Last > tick {
+				vs = append(vs, violatef("lru-stack",
+					"set %d way %d timestamp %d outside (0, %d]", set, w, e.Last, tick))
+			}
+			if prev, dup := seen[e.Last]; dup {
+				vs = append(vs, violatef("lru-stack",
+					"timestamp %d shared by %s and set %d way %d", e.Last, prev, set, w))
+			}
+			seen[e.Last] = fmt.Sprintf("set %d way %d", set, w)
+			if strictFit && e.Part == hybrid.NVM {
+				f := l.Array().Frame(set, w-l.SRAMWays())
+				if cap := f.EffectiveCapacity(); e.CB > cap {
+					vs = append(vs, violatef("strict-fit",
+						"set %d way %d stores %d bytes in a frame with %d live data bytes", set, w, e.CB, cap))
+				}
+			}
+		}
+	}
+	vs = append(vs, statsConservation(&l.Stats)...)
+	return vs
+}
+
+// statsConservation checks the counter relations the insert, migration
+// and bypass paths must preserve. Reinserts (in-place updates that no
+// longer fit) bump Inserts without a partition counter, migrations bump
+// NVMInserts without Inserts, and NVM-only configs can bypass entirely —
+// hence inequalities, not equalities.
+func statsConservation(s *hybrid.Stats) []Violation {
+	var vs []Violation
+	if s.SRAMInserts+s.NVMInserts > s.Inserts+s.Migrations {
+		vs = append(vs, violatef("migration-conservation",
+			"partition inserts %d+%d exceed inserts %d + migrations %d",
+			s.SRAMInserts, s.NVMInserts, s.Inserts, s.Migrations))
+	}
+	if s.Migrations > s.NVMInserts {
+		vs = append(vs, violatef("migration-conservation",
+			"migrations %d exceed NVM inserts %d", s.Migrations, s.NVMInserts))
+	}
+	if s.InsertHCR+s.InsertLCR+s.InsertIncomp > s.Inserts {
+		vs = append(vs, violatef("insert-classes",
+			"class counters %d+%d+%d exceed inserts %d",
+			s.InsertHCR, s.InsertLCR, s.InsertIncomp, s.Inserts))
+	}
+	if s.NVMFallbacks > s.Inserts {
+		vs = append(vs, violatef("insert-classes",
+			"fallbacks %d exceed inserts %d", s.NVMFallbacks, s.Inserts))
+	}
+	return vs
+}
+
+// Array verifies the NVM array's fault bookkeeping: the fault map agrees
+// with the disabled-byte count, live frames keep at least MinECB bytes,
+// dead frames report zero capacity, and effective capacity never exceeds
+// the block size. A nil array (SRAM-only config) passes vacuously.
+func Array(arr *nvm.Array) []Violation {
+	if arr == nil {
+		return nil
+	}
+	var vs []Violation
+	for i, f := range arr.Frames() {
+		if got, want := f.FaultMap().Count(), f.FaultyBytes(); got != want {
+			vs = append(vs, violatef("fault-map",
+				"frame %d map counts %d faulty bytes, frame reports %d", i, got, want))
+		}
+		if f.Dead() {
+			if f.LiveBytes() != 0 || f.EffectiveCapacity() != 0 {
+				vs = append(vs, violatef("dead-frame",
+					"frame %d dead but reports %d live bytes, capacity %d",
+					i, f.LiveBytes(), f.EffectiveCapacity()))
+			}
+			continue
+		}
+		if live := nvm.FrameBytes - f.FaultyBytes(); live < nvm.MinECB {
+			vs = append(vs, violatef("dead-frame",
+				"frame %d alive with %d bytes, below MinECB %d", i, live, nvm.MinECB))
+		}
+		if cap := f.EffectiveCapacity(); cap > bdi.BlockSize {
+			vs = append(vs, violatef("frame-capacity",
+				"frame %d capacity %d exceeds block size %d", i, cap, bdi.BlockSize))
+		}
+	}
+	return vs
+}
+
+// MetricsConsistency verifies that the registry's llc.* counters read
+// exactly the Stats fields they were registered against — the registry
+// is read-through, so any disagreement means a counter was rebound or a
+// snapshot path corrupted.
+func MetricsConsistency(l *hybrid.LLC) []Violation {
+	var vs []Violation
+	snap := l.Metrics().Snapshot()
+	want := hybrid.StatValues(&l.Stats)
+	for _, name := range hybrid.StatNames() {
+		if got := snap.Counter(name); got != want[name] {
+			vs = append(vs, violatef("metrics-registry",
+				"%s reads %d, Stats field holds %d", name, got, want[name]))
+		}
+	}
+	return vs
+}
+
+// Options configures a Checker.
+type Options struct {
+	// Every runs the suites every N observed accesses; 0 disables the
+	// periodic trigger (RunNow still works).
+	Every uint64
+	// StrictFit enforces the cb <= frame-capacity invariant; enable it
+	// only at quiesce points right after LLC.InvalidateUnfit.
+	StrictFit bool
+	// Limit caps stored violations (default 64); further ones are
+	// counted but dropped.
+	Limit int
+}
+
+// Checker runs the invariant suites periodically during a simulation,
+// wired in as the hierarchy's access probe. It accumulates violations
+// instead of failing fast, so a long campaign reports everything it saw.
+type Checker struct {
+	llc        *hybrid.LLC
+	opts       Options
+	accesses   uint64
+	runs       uint64
+	violations []Violation
+	dropped    int
+	prev       metrics.Snapshot
+	hasPrev    bool
+}
+
+// New builds a Checker for an LLC. Zero Options.Limit defaults to 64.
+func New(llc *hybrid.LLC, opts Options) *Checker {
+	if opts.Limit <= 0 {
+		opts.Limit = 64
+	}
+	return &Checker{llc: llc, opts: opts}
+}
+
+// Attach builds a Checker for the system's LLC and installs it as the
+// access probe, so it runs every Options.Every LLC-bound accesses.
+func Attach(sys *hier.System, opts Options) *Checker {
+	c := New(sys.LLC(), opts)
+	sys.SetAccessProbe(c)
+	return c
+}
+
+// OnAccess implements hier.AccessProbe.
+func (c *Checker) OnAccess() {
+	c.accesses++
+	if c.opts.Every != 0 && c.accesses%c.opts.Every == 0 {
+		c.RunNow()
+	}
+}
+
+// RunNow runs every suite once, records new violations, and returns the
+// violations found by this run only.
+func (c *Checker) RunNow() []Violation {
+	c.runs++
+	vs := LLC(c.llc, c.opts.StrictFit)
+	vs = append(vs, Array(c.llc.Array())...)
+	vs = append(vs, MetricsConsistency(c.llc)...)
+	// Registry deltas must be monotonic between runs: counters only grow.
+	snap := c.llc.Metrics().Snapshot()
+	if c.hasPrev {
+		for _, name := range hybrid.StatNames() {
+			if now, then := snap.Counter(name), c.prev.Counter(name); now < then {
+				vs = append(vs, violatef("metrics-monotonic",
+					"%s fell from %d to %d between checks", name, then, now))
+			}
+		}
+	}
+	c.prev, c.hasPrev = snap, true
+	for _, v := range vs {
+		if len(c.violations) >= c.opts.Limit {
+			c.dropped++
+			continue
+		}
+		c.violations = append(c.violations, v)
+	}
+	return vs
+}
+
+// Accesses returns the number of accesses observed.
+func (c *Checker) Accesses() uint64 { return c.accesses }
+
+// Runs returns the number of suite executions.
+func (c *Checker) Runs() uint64 { return c.runs }
+
+// Violations returns all recorded violations (up to Options.Limit).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Dropped returns the number of violations discarded past the limit.
+func (c *Checker) Dropped() int { return c.dropped }
+
+// Err summarises the recorded violations as one error, nil when clean.
+func (c *Checker) Err() error {
+	total := len(c.violations) + c.dropped
+	if total == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: %d invariant violation(s) in %d run(s)", total, c.runs)
+	for _, v := range c.violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	if c.dropped > 0 {
+		fmt.Fprintf(&b, "\n  ... %d more dropped", c.dropped)
+	}
+	return errors.New(b.String())
+}
+
+// ReportInto adds the checker's outcome to a report: summary fields and,
+// when violations exist, a table listing them.
+func (c *Checker) ReportInto(rep *report.Report) {
+	rep.AddField("check_runs", c.runs)
+	rep.AddField("check_accesses", c.accesses)
+	rep.AddField("check_violations", len(c.violations)+c.dropped)
+	if len(c.violations) == 0 {
+		return
+	}
+	t := report.New("invariant_violations", "invariant", "detail")
+	for _, v := range c.violations {
+		t.AddRow(v.Invariant, v.Detail)
+	}
+	if c.dropped > 0 {
+		t.AddRow("(dropped)", fmt.Sprintf("%d further violations past limit %d", c.dropped, c.opts.Limit))
+	}
+	rep.AddTable(t)
+}

@@ -1,0 +1,201 @@
+package check_test
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/hybrid"
+	"repro/internal/nvm"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func newReport() *report.Report { return report.NewReport("test") }
+
+// newLLC builds a standalone LLC with the named policy on the quick
+// geometry, bypassing the full hierarchy.
+func newLLC(t *testing.T, policyName string) *hybrid.LLC {
+	t.Helper()
+	cfg := core.QuickConfig()
+	cfg.PolicyName = policyName
+	pol, thr, sram, nvmW, err := core.BuildPolicy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hybrid.New(hybrid.Config{
+		Sets:       cfg.LLCSets,
+		SRAMWays:   sram,
+		NVMWays:    nvmW,
+		Policy:     pol,
+		Thresholds: thr,
+		Endurance:  nvm.EnduranceModel{Mean: cfg.EnduranceMean, CV: cfg.EnduranceCV},
+		Sampler:    stats.NewRNG(7),
+	})
+}
+
+func fill(l *hybrid.LLC, n int) {
+	for b := uint64(0); b < uint64(n); b++ {
+		l.GetS(b)
+		l.Insert(b, b%3 == 0, hybrid.BlockTag{}, nil)
+	}
+}
+
+func TestCleanLLCPasses(t *testing.T) {
+	for _, p := range []string{"CP_SD", "CA", "BH", "SRAM4"} {
+		l := newLLC(t, p)
+		fill(l, 20000)
+		if vs := check.LLC(l, true); len(vs) != 0 {
+			t.Errorf("%s: LLC suite: %v", p, vs)
+		}
+		if vs := check.Array(l.Array()); len(vs) != 0 {
+			t.Errorf("%s: Array suite: %v", p, vs)
+		}
+		if vs := check.MetricsConsistency(l); len(vs) != 0 {
+			t.Errorf("%s: metrics suite: %v", p, vs)
+		}
+	}
+}
+
+func TestStrictFitCatchesShrunkFrame(t *testing.T) {
+	l := newLLC(t, "CA") // byte-disabling granularity
+	// Compressible content (shared high bytes per word) steers blocks
+	// into the NVM part: cb ~ 16 bytes, under the CA threshold.
+	content := make([]byte, 64)
+	for w := 0; w < 8; w++ {
+		binary.LittleEndian.PutUint64(content[w*8:], 0x0123456789ab0000+uint64(w))
+	}
+	for b := uint64(0); b < 20000; b++ {
+		l.GetS(b)
+		l.Insert(b, false, hybrid.BlockTag{}, content)
+	}
+	nvmResident := 0
+	for set := 0; set < l.Sets(); set++ {
+		for w := l.SRAMWays(); w < l.SRAMWays()+l.NVMWays(); w++ {
+			if l.ViewEntry(set, w).Valid {
+				nvmResident++
+			}
+		}
+	}
+	if nvmResident == 0 {
+		t.Fatal("setup placed nothing in NVM")
+	}
+	// Shrink frames under their resident blocks: disable bytes in every
+	// NVM frame until some stored block no longer fits.
+	for _, f := range l.Array().Frames() {
+		for i := 0; i < nvm.DataBytes-4 && !f.Dead(); i++ {
+			f.InjectFault(i)
+		}
+	}
+	if vs := check.LLC(l, true); len(vs) == 0 {
+		t.Fatal("strict-fit missed blocks in shrunk frames")
+	} else {
+		found := false
+		for _, v := range vs {
+			if v.Invariant == "strict-fit" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no strict-fit violation in %v", vs)
+		}
+	}
+	// InvalidateUnfit is the documented quiesce point: after it, strict
+	// mode must pass again.
+	l.InvalidateUnfit()
+	if vs := check.LLC(l, true); len(vs) != 0 {
+		t.Fatalf("violations after InvalidateUnfit: %v", vs)
+	}
+}
+
+func TestStatsConservationViolations(t *testing.T) {
+	l := newLLC(t, "CP_SD")
+	fill(l, 5000)
+	l.Stats.Migrations = l.Stats.NVMInserts + 1
+	vs := check.LLC(l, false)
+	found := false
+	for _, v := range vs {
+		if v.Invariant == "migration-conservation" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("corrupted migration counter not flagged: %v", vs)
+	}
+}
+
+func TestCheckerMonotonicity(t *testing.T) {
+	l := newLLC(t, "CP_SD")
+	fill(l, 2000)
+	c := check.New(l, check.Options{})
+	if vs := c.RunNow(); len(vs) != 0 {
+		t.Fatalf("clean LLC flagged: %v", vs)
+	}
+	l.ResetStats() // counters jump backwards
+	vs := c.RunNow()
+	found := false
+	for _, v := range vs {
+		if v.Invariant == "metrics-monotonic" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("counter reset not flagged: %v", vs)
+	}
+	if c.Err() == nil || !strings.Contains(c.Err().Error(), "metrics-monotonic") {
+		t.Fatalf("Err() = %v", c.Err())
+	}
+}
+
+func TestCheckerLimit(t *testing.T) {
+	l := newLLC(t, "CP_SD")
+	fill(l, 2000)
+	c := check.New(l, check.Options{Limit: 2})
+	l.Stats.Migrations = l.Stats.NVMInserts + 1
+	for i := 0; i < 5; i++ {
+		c.RunNow()
+	}
+	if len(c.Violations()) != 2 || c.Dropped() != 3 {
+		t.Fatalf("stored %d, dropped %d", len(c.Violations()), c.Dropped())
+	}
+}
+
+func TestAttachRunsDuringSimulation(t *testing.T) {
+	cfg := core.QuickConfig()
+	sys, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := check.Attach(sys, check.Options{Every: 500})
+	sys.Run(200_000)
+	if c.Runs() == 0 {
+		t.Fatal("probe never ran the suites")
+	}
+	if c.Accesses() == 0 {
+		t.Fatal("probe observed no accesses")
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("violations during healthy run:\n%v", err)
+	}
+}
+
+func TestReportInto(t *testing.T) {
+	l := newLLC(t, "CP_SD")
+	fill(l, 1000)
+	c := check.New(l, check.Options{})
+	c.RunNow()
+	rep := newReport()
+	c.ReportInto(rep)
+	if len(rep.Fields()) != 3 || len(rep.Tables()) != 0 {
+		t.Fatalf("clean report: %d fields %d tables", len(rep.Fields()), len(rep.Tables()))
+	}
+	l.Stats.Migrations = l.Stats.NVMInserts + 1
+	c.RunNow()
+	rep = newReport()
+	c.ReportInto(rep)
+	if len(rep.Tables()) != 1 {
+		t.Fatalf("violation table missing: %d tables", len(rep.Tables()))
+	}
+}

@@ -1,0 +1,97 @@
+package check_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/hybrid"
+)
+
+// TestGracefulDegradation kills NVM frames down to half capacity in
+// steps, running the workload between steps, and asserts the system
+// degrades gracefully: the fit-constrained replacement never places a
+// block in a disabled frame and every invariant holds at each plateau.
+func TestGracefulDegradation(t *testing.T) {
+	cases := []struct {
+		policy  string
+		targets []float64
+	}{
+		{"CP_SD", []float64{0.9, 0.7, 0.5}},
+		{"CA", []float64{0.8, 0.5}},
+		{"BH", []float64{0.75, 0.5}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.policy, func(t *testing.T) {
+			cfg := core.QuickConfig()
+			cfg.PolicyName = tc.policy
+			sys, err := cfg.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			llc := sys.LLC()
+			chk := check.Attach(sys, check.Options{Every: 2000})
+			sys.Run(150_000) // warm the cache at full capacity
+
+			var steps []faultinject.Step
+			for _, target := range tc.targets {
+				steps = append(steps, faultinject.Step{Kind: faultinject.ToCapacity, Target: target})
+			}
+			camp, err := faultinject.NewCampaign(llc.Array(), faultinject.Spec{Seed: 99, Steps: steps})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, target := range tc.targets {
+				res, ok := camp.Next()
+				if !ok {
+					t.Fatal("campaign exhausted early")
+				}
+				if res.Capacity > target {
+					t.Fatalf("campaign left capacity %.3f above target %.2f", res.Capacity, target)
+				}
+				llc.InvalidateUnfit()
+				if vs := check.LLC(llc, true); len(vs) != 0 {
+					t.Fatalf("at capacity %.2f after invalidate: %v", target, vs)
+				}
+				sys.Run(100_000)
+				assertNoDisabledFrameUse(t, llc, target)
+			}
+			if res, ok := camp.Next(); ok {
+				t.Fatalf("campaign had leftover step %+v", res)
+			}
+			if err := chk.Err(); err != nil {
+				t.Fatalf("periodic checker at 50%% capacity:\n%v", err)
+			}
+			if vs := check.Array(llc.Array()); len(vs) != 0 {
+				t.Fatalf("array inconsistent after campaign: %v", vs)
+			}
+			// The degraded cache must still serve the workload.
+			if llc.Stats.Hits == 0 {
+				t.Fatal("no hits on degraded cache")
+			}
+		})
+	}
+}
+
+// assertNoDisabledFrameUse fails if any valid NVM-resident entry sits in
+// a dead frame — i.e. the fit-constrained victim selection (fit-LRU or
+// the global BH list) picked a disabled frame for an insertion.
+func assertNoDisabledFrameUse(t *testing.T, llc *hybrid.LLC, target float64) {
+	t.Helper()
+	for set := 0; set < llc.Sets(); set++ {
+		for w := llc.SRAMWays(); w < llc.SRAMWays()+llc.NVMWays(); w++ {
+			e := llc.ViewEntry(set, w)
+			if !e.Valid {
+				continue
+			}
+			if llc.Array().Frame(set, w-llc.SRAMWays()).Dead() {
+				t.Fatal(fmt.Sprintf(
+					"capacity %.2f: block %#x resident in dead frame (set %d way %d)",
+					target, e.Block, set, w))
+			}
+		}
+	}
+}

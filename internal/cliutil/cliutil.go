@@ -1,5 +1,6 @@
-// Package cliutil holds small helpers shared by the command-line tools:
-// mix-list parsing and policy-curve selection.
+// Package cliutil holds helpers shared by the command-line tools:
+// mix-list parsing and the hardened worker-pool runner the sweep
+// drivers fan out on.
 package cliutil
 
 import (
@@ -8,7 +9,6 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/experiments"
 )
 
 // ParseMixes converts a CLI mix selector — "all" or a comma-separated list
@@ -27,41 +27,6 @@ func ParseMixes(arg string) ([]int, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("empty mix list")
-	}
-	return out, nil
-}
-
-// SelectForecastSpecs resolves a curve selector: "standard", "core", or a
-// comma-separated list of curve labels from the standard set.
-func SelectForecastSpecs(arg string) ([]experiments.ForecastSpec, error) {
-	switch arg {
-	case "standard":
-		return experiments.StandardForecastSpecs(), nil
-	case "core":
-		return experiments.CoreForecastSpecs(), nil
-	}
-	all := experiments.StandardForecastSpecs()
-	var out []experiments.ForecastSpec
-	for _, want := range strings.Split(arg, ",") {
-		want = strings.TrimSpace(want)
-		found := false
-		for _, s := range all {
-			if s.Label == want {
-				out = append(out, s)
-				found = true
-				break
-			}
-		}
-		if !found {
-			labels := make([]string, len(all))
-			for i, s := range all {
-				labels[i] = s.Label
-			}
-			return nil, fmt.Errorf("unknown curve %q (valid: %s)", want, strings.Join(labels, ", "))
-		}
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty curve list")
 	}
 	return out, nil
 }

@@ -31,21 +31,3 @@ func TestParseMixesErrors(t *testing.T) {
 		}
 	}
 }
-
-func TestSelectForecastSpecs(t *testing.T) {
-	std, err := SelectForecastSpecs("standard")
-	if err != nil || len(std) != 9 {
-		t.Fatalf("standard: %d specs, err=%v", len(std), err)
-	}
-	cr, err := SelectForecastSpecs("core")
-	if err != nil || len(cr) != 4 {
-		t.Fatalf("core: %d specs, err=%v", len(cr), err)
-	}
-	list, err := SelectForecastSpecs("BH, CP_SD")
-	if err != nil || len(list) != 2 || list[0].Label != "BH" || list[1].Label != "CP_SD" {
-		t.Fatalf("list: %v err=%v", list, err)
-	}
-	if _, err := SelectForecastSpecs("NOPE"); err == nil {
-		t.Error("unknown curve accepted")
-	}
-}

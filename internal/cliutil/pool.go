@@ -1,0 +1,229 @@
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/report"
+)
+
+// This file is the hardened fan-out runner shared by the long-running
+// experiment drivers (cpthsweep, thsweep, appstudy, forecast,
+// faultstudy). Every task runs with a recover() barrier and an optional
+// deadline; failures become structured records instead of aborting the
+// whole sweep, so an hours-long run always produces a report — with the
+// casualties listed in it.
+
+// PanicTaskEnv names the environment variable that makes the pool panic
+// inside the task whose Name matches its value. It exists to prove the
+// crash-isolation path end to end: run any sweep with the variable set
+// and the remaining tasks must complete, with the panic recorded in the
+// report's failure table.
+const PanicTaskEnv = "REPRO_FAULT_PANIC_TASK"
+
+// Task is one unit of sweep work: a stable name (used in failure
+// records) and the function to run.
+type Task struct {
+	Name string
+	Run  func() error
+}
+
+// TaskResult records how one task ended. The zero Err means success.
+type TaskResult struct {
+	Name     string
+	Err      error
+	Panicked bool   // Err came from a recovered panic
+	TimedOut bool   // Err came from the per-task deadline
+	Stack    string // goroutine stack for panics (not rendered in tables)
+}
+
+// Failed reports whether the task ended in any failure.
+func (r TaskResult) Failed() bool { return r.Err != nil }
+
+// Kind names the failure class for reporting.
+func (r TaskResult) Kind() string {
+	switch {
+	case r.Err == nil:
+		return "ok"
+	case r.Panicked:
+		return "panic"
+	case r.TimedOut:
+		return "timeout"
+	case errors.Is(r.Err, ErrSkipped):
+		return "skipped"
+	default:
+		return "error"
+	}
+}
+
+// ErrSkipped marks tasks never started because StopOnError ended the
+// sweep early.
+var ErrSkipped = errors.New("cliutil: task skipped after earlier failure")
+
+// PoolConfig tunes RunTasks. The zero value is the hardened default:
+// GOMAXPROCS workers, no deadline, continue on error.
+type PoolConfig struct {
+	// Workers caps concurrent tasks; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Timeout is the per-task deadline; 0 disables it. A task past its
+	// deadline is recorded as TimedOut and abandoned — its goroutine
+	// keeps running (Go cannot kill it) but the pool moves on.
+	Timeout time.Duration
+	// StopOnError stops claiming new tasks after the first failure;
+	// unstarted tasks are recorded with ErrSkipped. The default (false)
+	// runs everything regardless of failures.
+	StopOnError bool
+}
+
+// RunTasks executes the tasks on a worker pool and returns one result
+// per task, index-aligned with the input — the order is deterministic
+// even though execution is concurrent.
+func RunTasks(tasks []Task, cfg PoolConfig) []TaskResult {
+	results := make([]TaskResult, len(tasks))
+	for i, t := range tasks {
+		results[i] = TaskResult{Name: t.Name, Err: ErrSkipped}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers == 0 {
+		return results
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		next    int
+		stopped bool
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped || next >= len(tasks) {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				results[i] = runOne(tasks[i], cfg.Timeout)
+				if results[i].Failed() && cfg.StopOnError {
+					mu.Lock()
+					stopped = true
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+type taskOutcome struct {
+	err      error
+	panicked bool
+	stack    string
+}
+
+// runOne executes a single task behind a recover barrier, honouring the
+// per-task deadline.
+func runOne(t Task, timeout time.Duration) TaskResult {
+	res := TaskResult{Name: t.Name}
+	done := make(chan taskOutcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- taskOutcome{
+					err:      fmt.Errorf("panic: %v", r),
+					panicked: true,
+					stack:    string(debug.Stack()),
+				}
+			}
+		}()
+		if want := os.Getenv(PanicTaskEnv); want != "" && want == t.Name {
+			panic(fmt.Sprintf("deliberate fault injection (%s=%s)", PanicTaskEnv, want))
+		}
+		done <- taskOutcome{err: t.Run()}
+	}()
+	if timeout <= 0 {
+		o := <-done
+		res.Err, res.Panicked, res.Stack = o.err, o.panicked, o.stack
+		return res
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-done:
+		res.Err, res.Panicked, res.Stack = o.err, o.panicked, o.stack
+	case <-timer.C:
+		res.TimedOut = true
+		res.Err = fmt.Errorf("exceeded deadline %v (abandoned)", timeout)
+	}
+	return res
+}
+
+// Failures filters the failed results, preserving order.
+func Failures(results []TaskResult) []TaskResult {
+	var out []TaskResult
+	for _, r := range results {
+		if r.Failed() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ErrOf joins the failures into one error (nil when every task
+// succeeded), each wrapped with its task name so errors.Is still reaches
+// the underlying cause.
+func ErrOf(results []TaskResult) error {
+	var errs []error
+	for _, r := range results {
+		if r.Failed() {
+			errs = append(errs, fmt.Errorf("%s: %w", r.Name, r.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// FailureTable renders the failed tasks as a report table, or nil when
+// the run was clean.
+func FailureTable(results []TaskResult) *report.Table {
+	fails := Failures(results)
+	if len(fails) == 0 {
+		return nil
+	}
+	t := report.New("task_failures", "task", "kind", "error")
+	for _, r := range fails {
+		t.AddRow(r.Name, r.Kind(), r.Err.Error())
+	}
+	return t
+}
+
+// AddRunSummary records the sweep outcome in a report: task counts as
+// fields plus, when tasks failed, the failure table.
+func AddRunSummary(rep *report.Report, results []TaskResult) {
+	fails := Failures(results)
+	rep.AddField("tasks_total", len(results))
+	rep.AddField("tasks_failed", len(fails))
+	if t := FailureTable(results); t != nil {
+		rep.AddTable(t)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/dueling"
 	"repro/internal/forecast"
 	"repro/internal/hier"
@@ -77,6 +78,13 @@ type Config struct {
 	// data-array occupancy is modelled (Table IV: 4). 0 disables bank
 	// contention.
 	LLCBanks int
+
+	// CheckEvery, when non-zero, attaches the runtime invariant checker
+	// to every system this config builds: the full suite (LLC structure,
+	// LRU stack, fault-map consistency, stats conservation, metrics
+	// registry agreement) runs every CheckEvery LLC accesses. Violations
+	// accumulate on the checker, reachable via hier.System.AccessProbe.
+	CheckEvery uint64
 }
 
 // DefaultConfig returns the scaled default system: 1 MB 16-way LLC
@@ -171,10 +179,12 @@ func (c Config) Latencies() hier.Latencies {
 	return lat
 }
 
-// Build constructs the simulated system described by the config.
+// Build constructs the simulated system described by the config. The
+// config is validated first; a CheckEvery > 0 config comes back with the
+// invariant checker already attached.
 func (c Config) Build() (*hier.System, error) {
-	if c.Scale <= 0 {
-		return nil, fmt.Errorf("core: non-positive scale %v", c.Scale)
+	if err := c.Validate(); err != nil {
+		return nil, err
 	}
 	pol, thr, sram, nvmW, err := c.buildPolicy()
 	if err != nil {
@@ -207,7 +217,11 @@ func (c Config) Build() (*hier.System, error) {
 		PrefetchDegree: c.PrefetchDegree,
 		Banks:          c.LLCBanks,
 	}
-	return hier.New(hcfg, llc, apps), nil
+	sys := hier.New(hcfg, llc, apps)
+	if c.CheckEvery > 0 {
+		check.Attach(sys, check.Options{Every: c.CheckEvery})
+	}
+	return sys, nil
 }
 
 func replacementOf(rrip bool) hybrid.Replacement {

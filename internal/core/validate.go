@@ -1,0 +1,81 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Validate reports every configuration error at once (errors.Join), so a
+// CLI user fixing a config sees the full list rather than one complaint
+// per run. Build calls it before constructing anything; the command-line
+// tools call it right after flag parsing so bad flags fail before any
+// simulation work starts.
+func (c Config) Validate() error {
+	var errs []error
+	bad := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf("core: "+format, args...))
+	}
+
+	if n := len(workload.Mixes()); c.MixID < 0 || c.MixID >= n {
+		bad("mix id %d out of range [0,%d)", c.MixID, n)
+	}
+	if c.Scale <= 0 {
+		bad("non-positive scale %v", c.Scale)
+	}
+	if c.LLCSets < 1 {
+		bad("LLC sets %d < 1", c.LLCSets)
+	}
+	if c.SRAMWays < 0 || c.NVMWays < 0 || c.SRAMWays+c.NVMWays < 1 {
+		bad("bad LLC way split %d SRAM + %d NVM", c.SRAMWays, c.NVMWays)
+	}
+	if c.L1Sets < 1 || c.L1Ways < 1 {
+		bad("bad L1 geometry %dx%d", c.L1Sets, c.L1Ways)
+	}
+	if c.L2Ways < 1 || c.L2SizeKB < 1 {
+		bad("bad L2 geometry %d KB, %d ways", c.L2SizeKB, c.L2Ways)
+	} else if c.L2SizeKB*1024/(c.L2Ways*64) < 1 {
+		bad("L2 of %d KB cannot hold %d ways of 64B blocks", c.L2SizeKB, c.L2Ways)
+	}
+	if !validPolicy(c.PolicyName) {
+		bad("unknown policy %q (valid: %v)", c.PolicyName, Policies())
+	}
+	switch c.PolicyName {
+	case "CA", "CA_RWR":
+		if c.CPth < 1 || c.CPth > 64 {
+			bad("CPth %d outside [1,64]", c.CPth)
+		}
+	}
+	if c.Th < 0 || c.Tw < 0 {
+		bad("negative CP_SD_Th parameters Th=%v Tw=%v", c.Th, c.Tw)
+	}
+	if c.EnduranceMean <= 0 {
+		bad("non-positive endurance mean %v", c.EnduranceMean)
+	}
+	if c.EnduranceCV < 0 {
+		bad("negative endurance CV %v", c.EnduranceCV)
+	}
+	if c.EpochCycles < 1 {
+		bad("epoch of %d cycles", c.EpochCycles)
+	}
+	if c.NVMLatencyFactor < 0 {
+		bad("negative NVM latency factor %v", c.NVMLatencyFactor)
+	}
+	if c.PrefetchDegree < 0 {
+		bad("negative prefetch degree %d", c.PrefetchDegree)
+	}
+	if c.LLCBanks < 0 {
+		bad("negative LLC bank count %d", c.LLCBanks)
+	}
+	return errors.Join(errs...)
+}
+
+func validPolicy(name string) bool {
+	for _, p := range Policies() {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}

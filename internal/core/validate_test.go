@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+)
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := QuickConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string // substring of the error
+	}{
+		{"mix-low", func(c *Config) { c.MixID = -1 }, "mix id"},
+		{"mix-high", func(c *Config) { c.MixID = 10 }, "mix id"},
+		{"scale", func(c *Config) { c.Scale = 0 }, "scale"},
+		{"llc-sets", func(c *Config) { c.LLCSets = 0 }, "LLC sets"},
+		{"way-split", func(c *Config) { c.SRAMWays, c.NVMWays = 0, 0 }, "way split"},
+		{"neg-ways", func(c *Config) { c.NVMWays = -1 }, "way split"},
+		{"l1", func(c *Config) { c.L1Ways = 0 }, "L1 geometry"},
+		{"l2", func(c *Config) { c.L2SizeKB = 0 }, "L2 geometry"},
+		{"l2-too-small", func(c *Config) { c.L2SizeKB, c.L2Ways = 1, 32 }, "cannot hold"},
+		{"policy", func(c *Config) { c.PolicyName = "NOPE" }, "unknown policy"},
+		{"cpth-low", func(c *Config) { c.PolicyName, c.CPth = "CA", 0 }, "CPth"},
+		{"cpth-high", func(c *Config) { c.PolicyName, c.CPth = "CA_RWR", 65 }, "CPth"},
+		{"th", func(c *Config) { c.Th = -1 }, "Th"},
+		{"endurance", func(c *Config) { c.EnduranceMean = 0 }, "endurance mean"},
+		{"cv", func(c *Config) { c.EnduranceCV = -0.1 }, "endurance CV"},
+		{"epoch", func(c *Config) { c.EpochCycles = 0 }, "epoch"},
+		{"nvmlat", func(c *Config) { c.NVMLatencyFactor = -1 }, "latency factor"},
+		{"prefetch", func(c *Config) { c.PrefetchDegree = -1 }, "prefetch"},
+		{"banks", func(c *Config) { c.LLCBanks = -1 }, "bank"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("accepted bad config")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if _, err := cfg.Build(); err == nil {
+				t.Fatal("Build accepted a config Validate rejects")
+			}
+		})
+	}
+}
+
+func TestValidateReportsAllErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0
+	cfg.EpochCycles = 0
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("no error")
+	}
+	for _, want := range []string{"scale", "epoch"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestCheckEveryAttachesChecker(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.CheckEvery = 1000
+	sys, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, ok := sys.AccessProbe().(*check.Checker)
+	if !ok {
+		t.Fatalf("probe is %T, want *check.Checker", sys.AccessProbe())
+	}
+	sys.Run(100_000)
+	if chk.Runs() == 0 {
+		t.Fatal("checker never ran")
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.CheckEvery = 0
+	sys, err = cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.AccessProbe() != nil {
+		t.Fatal("checker attached despite CheckEvery=0")
+	}
+}

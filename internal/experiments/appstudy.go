@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"fmt"
 	"sort"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/hier"
 	"repro/internal/hybrid"
@@ -27,8 +29,16 @@ type AppRow struct {
 
 // PerAppStudy runs each profiled application homogeneously under the given
 // policy configuration and reports the per-app placement behaviour. Rows
-// are sorted by application name.
-func PerAppStudy(base core.Config, policyName string, warmup, measure uint64) ([]AppRow, error) {
+// are sorted by application name. An invalid policy fails fast; a failure
+// inside one application's simulation drops that row and is reported in
+// the returned task records while the remaining applications complete.
+func PerAppStudy(base core.Config, policyName string, warmup, measure uint64) ([]AppRow, []cliutil.TaskResult, error) {
+	probe := base
+	probe.PolicyName = policyName
+	if _, _, _, _, err := core.BuildPolicy(probe); err != nil {
+		return nil, nil, err
+	}
+
 	profs := workload.Profiles()
 	names := make([]string, 0, len(profs))
 	for n := range profs {
@@ -36,35 +46,44 @@ func PerAppStudy(base core.Config, policyName string, warmup, measure uint64) ([
 	}
 	sort.Strings(names)
 
-	out := make([]AppRow, len(names))
-	if err := forEachIndex(len(names), func(i int) error {
+	rows := make([]AppRow, len(names))
+	tasks := make([]cliutil.Task, len(names))
+	for i := range tasks {
+		i := i
 		name := names[i]
-		cfg := base
-		cfg.PolicyName = policyName
-		sys, err := buildHomogeneous(cfg, profs[name])
-		if err != nil {
-			return err
-		}
-		sys.Run(warmup)
-		r := sys.Run(measure)
-		row := AppRow{
-			App:      name,
-			HitRate:  r.LLC.HitRate(),
-			MeanIPC:  r.MeanIPC,
-			NVMBytes: r.LLC.NVMBytesWritten,
-		}
-		if ins := r.LLC.SRAMInserts + r.LLC.NVMInserts; ins > 0 {
-			row.NVMShare = float64(r.LLC.NVMInserts) / float64(ins)
-		}
-		if tot := r.LLC.InsertHCR + r.LLC.InsertLCR + r.LLC.InsertIncomp; tot > 0 {
-			row.CompressibleFr = float64(r.LLC.InsertHCR+r.LLC.InsertLCR) / float64(tot)
-		}
-		out[i] = row
-		return nil
-	}); err != nil {
-		return nil, err
+		tasks[i] = cliutil.Task{Name: fmt.Sprintf("app=%s", name), Run: func() error {
+			cfg := base
+			cfg.PolicyName = policyName
+			sys, err := buildHomogeneous(cfg, profs[name])
+			if err != nil {
+				return err
+			}
+			sys.Run(warmup)
+			r := sys.Run(measure)
+			row := AppRow{
+				App:      name,
+				HitRate:  r.LLC.HitRate(),
+				MeanIPC:  r.MeanIPC,
+				NVMBytes: r.LLC.NVMBytesWritten,
+			}
+			if ins := r.LLC.SRAMInserts + r.LLC.NVMInserts; ins > 0 {
+				row.NVMShare = float64(r.LLC.NVMInserts) / float64(ins)
+			}
+			if tot := r.LLC.InsertHCR + r.LLC.InsertLCR + r.LLC.InsertIncomp; tot > 0 {
+				row.CompressibleFr = float64(r.LLC.InsertHCR+r.LLC.InsertLCR) / float64(tot)
+			}
+			rows[i] = row
+			return nil
+		}}
 	}
-	return out, nil
+	results := runTasks(tasks)
+	var out []AppRow
+	for i, r := range results {
+		if !r.Failed() {
+			out = append(out, rows[i])
+		}
+	}
+	return out, results, nil
 }
 
 // buildHomogeneous constructs a system running four copies of one profile,

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"fmt"
+
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/energy"
 )
@@ -18,52 +21,63 @@ type EnergyRow struct {
 // mixes. It mirrors the motivation of TAP ([32] reports −25% LLC energy
 // vs LRU): NVM-conservative policies avoid expensive NVM writes, and
 // compression shrinks each write that remains.
-func EnergyComparison(base core.Config, policies []string, mixes []int, warmup, measure uint64) ([]EnergyRow, error) {
+// A failed policy is dropped from the result (and from the BH
+// normalisation) and reported in the returned task records.
+func EnergyComparison(base core.Config, policies []string, mixes []int, warmup, measure uint64) ([]EnergyRow, []cliutil.TaskResult, error) {
 	model := energy.Default()
-	out := make([]EnergyRow, len(policies))
-	var bhTotal float64
-	if err := forEachIndex(len(policies), func(pi int) error {
+	rows := make([]EnergyRow, len(policies))
+	tasks := make([]cliutil.Task, len(policies))
+	for pi := range tasks {
+		pi := pi
 		name := policies[pi]
-		var agg energy.Breakdown
-		var instr uint64
-		var ipc float64
-		for _, m := range mixes {
-			cfg := base
-			cfg.MixID = m
-			cfg.PolicyName = name
-			cfg.Th = 4
-			sys, err := cfg.Build()
-			if err != nil {
-				return err
+		tasks[pi] = cliutil.Task{Name: fmt.Sprintf("policy=%s", name), Run: func() error {
+			var agg energy.Breakdown
+			var instr uint64
+			var ipc float64
+			for _, m := range mixes {
+				cfg := base
+				cfg.MixID = m
+				cfg.PolicyName = name
+				cfg.Th = 4
+				sys, err := cfg.Build()
+				if err != nil {
+					return err
+				}
+				sys.Run(warmup)
+				r := sys.Run(measure)
+				g := energy.Geometry{
+					Sets:     sys.LLC().Sets(),
+					SRAMWays: sys.LLC().SRAMWays(),
+					NVMWays:  sys.LLC().NVMWays(),
+				}
+				b := model.Window(r.LLC, r.Cycles, g)
+				agg.SRAMDynamic += b.SRAMDynamic
+				agg.NVMDynamic += b.NVMDynamic
+				agg.TagDynamic += b.TagDynamic
+				agg.SRAMLeak += b.SRAMLeak
+				agg.NVMLeak += b.NVMLeak
+				for _, n := range r.Insts {
+					instr += n
+				}
+				ipc += r.MeanIPC / float64(len(mixes))
 			}
-			sys.Run(warmup)
-			r := sys.Run(measure)
-			g := energy.Geometry{
-				Sets:     sys.LLC().Sets(),
-				SRAMWays: sys.LLC().SRAMWays(),
-				NVMWays:  sys.LLC().NVMWays(),
+			rows[pi] = EnergyRow{
+				Policy:    name,
+				Breakdown: agg,
+				PerKI:     energy.PerKiloInstr(agg, instr),
+				MeanIPC:   ipc,
 			}
-			b := model.Window(r.LLC, r.Cycles, g)
-			agg.SRAMDynamic += b.SRAMDynamic
-			agg.NVMDynamic += b.NVMDynamic
-			agg.TagDynamic += b.TagDynamic
-			agg.SRAMLeak += b.SRAMLeak
-			agg.NVMLeak += b.NVMLeak
-			for _, n := range r.Insts {
-				instr += n
-			}
-			ipc += r.MeanIPC / float64(len(mixes))
-		}
-		out[pi] = EnergyRow{
-			Policy:    name,
-			Breakdown: agg,
-			PerKI:     energy.PerKiloInstr(agg, instr),
-			MeanIPC:   ipc,
-		}
-		return nil
-	}); err != nil {
-		return nil, err
+			return nil
+		}}
 	}
+	results := runTasks(tasks)
+	var out []EnergyRow
+	for pi, r := range results {
+		if !r.Failed() {
+			out = append(out, rows[pi])
+		}
+	}
+	var bhTotal float64
 	for _, row := range out {
 		if row.Policy == "BH" {
 			bhTotal = row.Breakdown.Total()
@@ -74,5 +88,5 @@ func EnergyComparison(base core.Config, policies []string, mixes []int, warmup, 
 			out[i].RelativeToBH = out[i].Breakdown.Total() / bhTotal
 		}
 	}
-	return out, nil
+	return out, results, nil
 }

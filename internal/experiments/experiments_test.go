@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/dueling"
 	"repro/internal/forecast"
@@ -87,9 +88,12 @@ func quickBase() core.Config {
 }
 
 func TestFig6And7Shape(t *testing.T) {
-	sweep, err := Fig6And7CPthSweep(quickBase(), []int{0}, 300_000, 1_200_000)
+	sweep, taskResults, err := Fig6And7CPthSweep(quickBase(), []int{0}, 300_000, 1_200_000)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if fails := cliutil.Failures(taskResults); len(fails) != 0 {
+		t.Fatalf("task failures: %+v", fails)
 	}
 	if len(sweep.Rows) != len(dueling.DefaultCandidates) {
 		t.Fatalf("%d rows", len(sweep.Rows))
@@ -142,7 +146,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
-	pts, err := Fig9ThTradeoff(quickBase(), []int{0}, []float64{0, 8}, []float64{1.0}, 5, 300_000, 1_000_000)
+	pts, _, err := Fig9ThTradeoff(quickBase(), []int{0}, []float64{0, 8}, []float64{1.0}, 5, 300_000, 1_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,9 +186,12 @@ func TestForecastComparisonQuick(t *testing.T) {
 		{"BH", func(c *core.Config) { c.PolicyName = "BH" }},
 		{"CP_SD", func(c *core.Config) { c.PolicyName = "CP_SD" }},
 	}
-	fs, err := ForecastComparison(base, specs, []int{0}, fcfg)
+	fs, taskResults, err := ForecastComparison(base, specs, []int{0}, fcfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if fails := cliutil.Failures(taskResults); len(fails) != 0 {
+		t.Fatalf("task failures: %+v", fails)
 	}
 	if len(fs) != 2 {
 		t.Fatalf("%d forecasts", len(fs))
@@ -226,7 +233,7 @@ func TestNormalizeTo(t *testing.T) {
 }
 
 func TestEnergyComparison(t *testing.T) {
-	rows, err := EnergyComparison(quickBase(), []string{"BH", "LHybrid", "CP_SD"}, []int{0}, 300_000, 1_500_000)
+	rows, _, err := EnergyComparison(quickBase(), []string{"BH", "LHybrid", "CP_SD"}, []int{0}, 300_000, 1_500_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,9 +270,12 @@ func TestEnergyComparison(t *testing.T) {
 func TestPerAppStudy(t *testing.T) {
 	cfg := quickBase()
 	cfg.Scale = 0.08 // keep the 20-app sweep fast
-	rows, err := PerAppStudy(cfg, "CA", 200_000, 800_000)
+	rows, taskResults, err := PerAppStudy(cfg, "CA", 200_000, 800_000)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if fails := cliutil.Failures(taskResults); len(fails) != 0 {
+		t.Fatalf("task failures: %+v", fails)
 	}
 	if len(rows) != 20 {
 		t.Fatalf("%d rows, want 20 applications", len(rows))
@@ -285,7 +295,7 @@ func TestPerAppStudy(t *testing.T) {
 	if gems := byName["GemsFDTD06"]; gems.NVMShare < 0.7 {
 		t.Errorf("GemsFDTD06 NVM share %.3f under CA; should be near one", gems.NVMShare)
 	}
-	if _, err := PerAppStudy(cfg, "NOPE", 1, 1); err == nil {
+	if _, _, err := PerAppStudy(cfg, "NOPE", 1, 1); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
+	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/forecast"
 )
@@ -44,6 +47,41 @@ func CoreForecastSpecs() []ForecastSpec {
 	return out
 }
 
+// SelectForecastSpecs resolves a CLI curve selector — "standard", "core",
+// or a comma-separated list of curve labels — to forecast specs.
+func SelectForecastSpecs(arg string) ([]ForecastSpec, error) {
+	switch arg {
+	case "standard":
+		return StandardForecastSpecs(), nil
+	case "core":
+		return CoreForecastSpecs(), nil
+	}
+	all := StandardForecastSpecs()
+	var out []ForecastSpec
+	for _, tok := range strings.Split(arg, ",") {
+		label := strings.TrimSpace(tok)
+		found := false
+		for _, s := range all {
+			if s.Label == label {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			valid := make([]string, len(all))
+			for i, s := range all {
+				valid[i] = s.Label
+			}
+			return nil, fmt.Errorf("unknown curve %q (valid: %s)", label, strings.Join(valid, ", "))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty curve list")
+	}
+	return out, nil
+}
+
 // PolicyForecast aggregates one policy's forecast across mixes.
 type PolicyForecast struct {
 	Label  string
@@ -61,34 +99,45 @@ type PolicyForecast struct {
 }
 
 // ForecastComparison runs the forecast for each spec across the mixes.
-// The (spec, mix) simulations are independent and run in parallel.
-func ForecastComparison(base core.Config, specs []ForecastSpec, mixes []int, fcfg forecast.Config) ([]PolicyForecast, error) {
+// The (spec, mix) simulations are independent and run in parallel on the
+// hardened pool: a failed cell is excluded from its policy's aggregates
+// and reported in the returned task records instead of aborting the
+// whole comparison.
+func ForecastComparison(base core.Config, specs []ForecastSpec, mixes []int, fcfg forecast.Config) ([]PolicyForecast, []cliutil.TaskResult, error) {
 	results := make([]forecast.Result, len(specs)*len(mixes))
-	err := forEachIndex(len(results), func(i int) error {
+	tasks := make([]cliutil.Task, len(results))
+	for i := range tasks {
+		i := i
 		spec := specs[i/len(mixes)]
 		m := mixes[i%len(mixes)]
-		cfg := base
-		cfg.MixID = m
-		spec.Mutate(&cfg)
-		sys, err := cfg.Build()
-		if err != nil {
-			return err
-		}
-		results[i] = forecast.Run(sys, fcfg)
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		tasks[i] = cliutil.Task{Name: fmt.Sprintf("curve=%s/mix=%d", spec.Label, m+1), Run: func() error {
+			cfg := base
+			cfg.MixID = m
+			spec.Mutate(&cfg)
+			sys, err := cfg.Build()
+			if err != nil {
+				return err
+			}
+			results[i] = forecast.Run(sys, fcfg)
+			return nil
+		}}
 	}
+	taskResults := runTasks(tasks)
 	out := make([]PolicyForecast, 0, len(specs))
 	for si, spec := range specs {
 		pf := PolicyForecast{Label: spec.Label}
 		var lifeSum float64
 		var lifeN int
 		var ipcSum float64
+		var okMixes int
 		for mi := range mixes {
-			res := results[si*len(mixes)+mi]
+			cell := si*len(mixes) + mi
+			if taskResults[cell].Failed() {
+				continue
+			}
+			res := results[cell]
 			pf.PerMix = append(pf.PerMix, res)
+			okMixes++
 			if math.IsInf(res.LifetimeSeconds, 1) {
 				pf.CensoredMixes++
 			} else {
@@ -104,10 +153,12 @@ func ForecastComparison(base core.Config, specs []ForecastSpec, mixes []int, fcf
 		} else {
 			pf.MeanLifetimeMonths = math.Inf(1)
 		}
-		pf.InitialIPC = ipcSum / float64(len(mixes))
+		if okMixes > 0 {
+			pf.InitialIPC = ipcSum / float64(okMixes)
+		}
 		out = append(out, pf)
 	}
-	return out, nil
+	return out, taskResults, nil
 }
 
 // IPCAt returns the across-mix mean IPC of a policy at an absolute time,

@@ -1,67 +1,30 @@
 package experiments
 
 import (
-	"runtime"
-	"sync"
+	"fmt"
+
+	"repro/internal/cliutil"
 )
 
-// forEachIndex runs fn(i) for i in [0, n) on up to GOMAXPROCS workers and
-// returns the first error. Every experiment configuration is an
-// independent, deterministic simulation, so results are identical to the
-// serial order as long as each fn writes only to its own index — which is
-// how all callers use it.
+// runTasks fans sweep work out on the shared hardened pool (package
+// cliutil): default worker count, no per-task deadline, continue on
+// error. Every experiment configuration is an independent, deterministic
+// simulation, so results are identical to the serial order as long as
+// each task writes only to its own index — which is how all callers use
+// it. Failures (including recovered panics) come back as structured
+// records instead of aborting the sweep.
+func runTasks(tasks []cliutil.Task) []cliutil.TaskResult {
+	return cliutil.RunTasks(tasks, cliutil.PoolConfig{})
+}
+
+// forEachIndex runs fn(i) for i in [0, n) on the pool and returns the
+// joined failures (nil when all succeeded). Unlike the pre-pool version
+// it does not stop at the first error: every index runs.
 func forEachIndex(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	tasks := make([]cliutil.Task, n)
+	for i := range tasks {
+		i := i
+		tasks[i] = cliutil.Task{Name: fmt.Sprintf("index %d", i), Run: func() error { return fn(i) }}
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
-	claim := func() (int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= n || firstErr != nil {
-			return 0, false
-		}
-		i := next
-		next++
-		return i, true
-	}
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i, ok := claim()
-				if !ok {
-					return
-				}
-				if err := fn(i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return cliutil.ErrOf(runTasks(tasks))
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/cliutil"
 )
 
 func TestForEachIndexVisitsAll(t *testing.T) {
@@ -40,11 +42,75 @@ func TestForEachIndexZero(t *testing.T) {
 	}
 }
 
+// TestForEachIndexContinuesPastError: unlike the pre-pool version, one
+// failing index must not prevent the rest from running.
+func TestForEachIndexContinuesPastError(t *testing.T) {
+	var ran int32
+	err := forEachIndex(20, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 2 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if ran != 20 {
+		t.Fatalf("only %d of 20 indices ran", ran)
+	}
+}
+
+// TestPerAppStudySurvivesInjectedPanic: a deliberately crashing task
+// (injected via the shared REPRO_FAULT_PANIC_TASK hook) must not take
+// down the sweep — the other applications still produce rows and the
+// crash comes back as a structured failure record.
+func TestPerAppStudySurvivesInjectedPanic(t *testing.T) {
+	t.Setenv(cliutil.PanicTaskEnv, "app=xz17")
+	cfg := quickBase()
+	cfg.Scale = 0.05
+	rows, results, err := PerAppStudy(cfg, "CA", 50_000, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 19 {
+		t.Fatalf("%d rows survived, want 19", len(rows))
+	}
+	for _, r := range rows {
+		if r.App == "xz17" {
+			t.Fatal("crashed task produced a row")
+		}
+	}
+	fails := cliutil.Failures(results)
+	if len(fails) != 1 || fails[0].Name != "app=xz17" || !fails[0].Panicked {
+		t.Fatalf("failures: %+v", fails)
+	}
+}
+
+func TestSelectForecastSpecs(t *testing.T) {
+	if specs, err := SelectForecastSpecs("standard"); err != nil || len(specs) != 9 {
+		t.Fatalf("standard: %d specs, err=%v", len(specs), err)
+	}
+	if specs, err := SelectForecastSpecs("core"); err != nil || len(specs) != 4 {
+		t.Fatalf("core: %d specs, err=%v", len(specs), err)
+	}
+	specs, err := SelectForecastSpecs("BH, CP_SD")
+	if err != nil || len(specs) != 2 || specs[0].Label != "BH" || specs[1].Label != "CP_SD" {
+		t.Fatalf("list: %+v err=%v", specs, err)
+	}
+	if _, err := SelectForecastSpecs("NOPE"); err == nil {
+		t.Error("unknown curve accepted")
+	}
+	if _, err := SelectForecastSpecs(""); err == nil {
+		t.Error("empty selector accepted")
+	}
+}
+
 // TestParallelDeterminism: the parallel harness must produce identical
 // results to a repeated run — each simulation is self-contained.
 func TestParallelDeterminism(t *testing.T) {
 	run := func() CPthSweep {
-		s, err := Fig6And7CPthSweep(quickBase(), []int{0}, 150_000, 500_000)
+		s, _, err := Fig6And7CPthSweep(quickBase(), []int{0}, 150_000, 500_000)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/dueling"
 )
@@ -45,53 +46,64 @@ func (s *CPthSweep) NormalizedBytes(bytes float64) float64 {
 
 // Fig6And7CPthSweep evaluates CA and CA_RWR at every candidate CPth, plus
 // the BH reference and the CP_SD adaptive line, averaged across mixes.
-func Fig6And7CPthSweep(base core.Config, mixes []int, warmup, measure uint64) (CPthSweep, error) {
+// Per-threshold failures do not abort the sweep: failed rows are dropped
+// from the result and returned as structured task records; only the
+// reference lines (BH, CP_SD), which the normalisation needs, are fatal.
+func Fig6And7CPthSweep(base core.Config, mixes []int, warmup, measure uint64) (CPthSweep, []cliutil.TaskResult, error) {
 	var out CPthSweep
 	bh := base
 	bh.PolicyName = "BH"
 	_, bhMean, err := core.MeasureMixes(bh, mixes, warmup, measure)
 	if err != nil {
-		return out, err
+		return out, nil, err
 	}
 	out.BHHits = float64(bhMean.Hits)
 	out.BHNVMBytes = float64(bhMean.NVMBytesWritten)
 
-	out.Rows = make([]CPthRow, len(dueling.DefaultCandidates))
-	if err := forEachIndex(len(dueling.DefaultCandidates), func(i int) error {
+	rows := make([]CPthRow, len(dueling.DefaultCandidates))
+	tasks := make([]cliutil.Task, len(dueling.DefaultCandidates))
+	for i := range tasks {
+		i := i
 		cpth := dueling.DefaultCandidates[i]
-		row := CPthRow{CPth: cpth}
-		ca := base
-		ca.PolicyName, ca.CPth = "CA", cpth
-		_, m, err := core.MeasureMixes(ca, mixes, warmup, measure)
-		if err != nil {
-			return err
-		}
-		row.CAHits = float64(m.Hits)
-		row.CANVMBytes = float64(m.NVMBytesWritten)
+		tasks[i] = cliutil.Task{Name: fmt.Sprintf("cpth=%d", cpth), Run: func() error {
+			row := CPthRow{CPth: cpth}
+			ca := base
+			ca.PolicyName, ca.CPth = "CA", cpth
+			_, m, err := core.MeasureMixes(ca, mixes, warmup, measure)
+			if err != nil {
+				return err
+			}
+			row.CAHits = float64(m.Hits)
+			row.CANVMBytes = float64(m.NVMBytesWritten)
 
-		rwr := base
-		rwr.PolicyName, rwr.CPth = "CA_RWR", cpth
-		_, m, err = core.MeasureMixes(rwr, mixes, warmup, measure)
-		if err != nil {
-			return err
+			rwr := base
+			rwr.PolicyName, rwr.CPth = "CA_RWR", cpth
+			_, m, err = core.MeasureMixes(rwr, mixes, warmup, measure)
+			if err != nil {
+				return err
+			}
+			row.CARWRHits = float64(m.Hits)
+			row.CARWRNVMBytes = float64(m.NVMBytesWritten)
+			rows[i] = row
+			return nil
+		}}
+	}
+	results := runTasks(tasks)
+	for i, r := range results {
+		if !r.Failed() {
+			out.Rows = append(out.Rows, rows[i])
 		}
-		row.CARWRHits = float64(m.Hits)
-		row.CARWRNVMBytes = float64(m.NVMBytesWritten)
-		out.Rows[i] = row
-		return nil
-	}); err != nil {
-		return out, err
 	}
 
 	sd := base
 	sd.PolicyName = "CP_SD"
 	_, m, err := core.MeasureMixes(sd, mixes, warmup, measure)
 	if err != nil {
-		return out, err
+		return out, results, err
 	}
 	out.CPSDHits = float64(m.Hits)
 	out.CPSDBytes = float64(m.NVMBytesWritten)
-	return out, nil
+	return out, results, nil
 }
 
 // Fig8Result is the optimal-CPth epoch distribution of Fig. 8.
@@ -188,53 +200,62 @@ type ThPoint struct {
 }
 
 // Fig9ThTradeoff sweeps Th at Tw=tw across capacities. Th=0 reproduces
-// plain CP_SD.
-func Fig9ThTradeoff(base core.Config, mixes []int, ths []float64, capacities []float64, tw float64, warmup, measure uint64) ([]ThPoint, error) {
+// plain CP_SD. Failed (Th, capacity) points are dropped from the result
+// and returned as structured task records; the BH reference is fatal.
+func Fig9ThTradeoff(base core.Config, mixes []int, ths []float64, capacities []float64, tw float64, warmup, measure uint64) ([]ThPoint, []cliutil.TaskResult, error) {
 	bh := base
 	bh.PolicyName = "BH"
 	_, bhMean, err := core.MeasureMixes(bh, mixes, warmup, measure)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	bhHits := float64(bhMean.Hits)
 	bhBytes := float64(bhMean.NVMBytesWritten)
 
-	out := make([]ThPoint, len(capacities)*len(ths))
-	err = forEachIndex(len(out), func(i int) error {
+	pts := make([]ThPoint, len(capacities)*len(ths))
+	tasks := make([]cliutil.Task, len(pts))
+	for i := range tasks {
+		i := i
 		capacity := capacities[i/len(ths)]
 		th := ths[i%len(ths)]
-		var hits, bytes float64
-		for _, m := range mixes {
-			cfg := base
-			cfg.MixID = m
-			if th == 0 {
-				cfg.PolicyName = "CP_SD"
-			} else {
-				cfg.PolicyName = "CP_SD_Th"
-				cfg.Th, cfg.Tw = th, tw
+		tasks[i] = cliutil.Task{Name: fmt.Sprintf("th=%g/cap=%g", th, capacity), Run: func() error {
+			var hits, bytes float64
+			for _, m := range mixes {
+				cfg := base
+				cfg.MixID = m
+				if th == 0 {
+					cfg.PolicyName = "CP_SD"
+				} else {
+					cfg.PolicyName = "CP_SD_Th"
+					cfg.Th, cfg.Tw = th, tw
+				}
+				sys, err := cfg.Build()
+				if err != nil {
+					return err
+				}
+				core.PreAge(sys, capacity)
+				s := core.Measure(sys, warmup, measure)
+				hits += float64(s.Hits)
+				bytes += float64(s.NVMBytesWritten)
 			}
-			sys, err := cfg.Build()
-			if err != nil {
-				return err
+			n := float64(len(mixes))
+			pts[i] = ThPoint{
+				Th:       th,
+				Capacity: capacity,
+				Hits:     hits / n / bhHits,
+				NVMBytes: bytes / n / bhBytes,
 			}
-			core.PreAge(sys, capacity)
-			s := core.Measure(sys, warmup, measure)
-			hits += float64(s.Hits)
-			bytes += float64(s.NVMBytesWritten)
-		}
-		n := float64(len(mixes))
-		out[i] = ThPoint{
-			Th:       th,
-			Capacity: capacity,
-			Hits:     hits / n / bhHits,
-			NVMBytes: bytes / n / bhBytes,
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+			return nil
+		}}
 	}
-	return out, nil
+	results := runTasks(tasks)
+	var out []ThPoint
+	for i, r := range results {
+		if !r.Failed() {
+			out = append(out, pts[i])
+		}
+	}
+	return out, results, nil
 }
 
 // EpochSizeRow is one point of the §IV-C epoch-size sensitivity study.

@@ -135,6 +135,9 @@ type System struct {
 	// its subcomponents); ring records the per-epoch series.
 	reg  *metrics.Registry
 	ring *metrics.EpochRing
+	// probe, when set, observes every memory access the system executes
+	// (the invariant checker of package check attaches here).
+	probe AccessProbe
 	// Epoch sampling state: counter readers for the ring's delta
 	// columns, their values at the last epoch boundary, and per-core
 	// insts/cycles at the last boundary for per-epoch IPC.
@@ -266,6 +269,21 @@ func (s *System) recordEpoch(cycle uint64) {
 		deltas[0], deltas[1], deltas[2], deltas[3], float64(cpth))
 }
 
+// AccessProbe observes the simulation at access granularity: OnAccess is
+// called once after every memory access any core executes, with the whole
+// hierarchy in a consistent state. The runtime invariant checker
+// (internal/check) is the canonical implementation.
+type AccessProbe interface {
+	OnAccess()
+}
+
+// SetAccessProbe attaches (or, with nil, detaches) the system's access
+// probe. One probe is supported; attaching replaces the previous one.
+func (s *System) SetAccessProbe(p AccessProbe) { s.probe = p }
+
+// AccessProbe returns the currently attached probe (nil when none).
+func (s *System) AccessProbe() AccessProbe { return s.probe }
+
 // LLC returns the shared last-level cache.
 func (s *System) LLC() *hybrid.LLC { return s.llc }
 
@@ -360,6 +378,9 @@ func (s *System) Run(cycles uint64) RunStats {
 
 // step executes one memory access on a core.
 func (s *System) step(c *Core) {
+	if s.probe != nil {
+		defer s.probe.OnAccess()
+	}
 	acc := c.app.Next()
 	lat := &s.cfg.Lat
 	c.insts += uint64(acc.Gap) + 1

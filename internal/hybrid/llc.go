@@ -747,6 +747,38 @@ func (l *LLC) CheckInvariants() error {
 	return nil
 }
 
+// Tick returns the LLC's LRU clock: the timestamp handed to the most
+// recently touched entry. Valid entries always carry Last values in
+// (0, Tick].
+func (l *LLC) Tick() uint64 { return l.tick }
+
+// EntryView is a read-only projection of one directory entry, exposed for
+// the external invariant suites (package check) without opening up the
+// mutable entry array.
+type EntryView struct {
+	Valid bool
+	Dirty bool
+	Block uint64
+	CB    int    // stored compressed size in data bytes
+	Last  uint64 // LRU timestamp (value of Tick when last touched)
+	Part  Partition
+}
+
+// ViewEntry returns a read-only view of the directory entry at (set, way).
+// Ways [0, SRAMWays) are SRAM; [SRAMWays, SRAMWays+NVMWays) map to NVM
+// frames reachable through Array().Frame(set, way-SRAMWays).
+func (l *LLC) ViewEntry(set, way int) EntryView {
+	e := l.entryAt(set, way)
+	return EntryView{
+		Valid: e.valid,
+		Dirty: e.dirty,
+		Block: e.block,
+		CB:    int(e.cb),
+		Last:  e.last,
+		Part:  l.partOf(way),
+	}
+}
+
 // PartitionOf returns the partition currently holding block.
 func (l *LLC) PartitionOf(block uint64) (Partition, bool) {
 	_, way, e := l.find(block)

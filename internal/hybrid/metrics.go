@@ -57,6 +57,17 @@ func StatsFromSnapshot(s metrics.Snapshot) Stats {
 	return out
 }
 
+// StatValues returns the current value of every registered counter field
+// keyed by its registry name. The invariant checker compares these
+// against a live registry snapshot.
+func StatValues(s *Stats) map[string]uint64 {
+	out := make(map[string]uint64, len(statsFields))
+	for _, f := range statsFields {
+		out[f.name] = *f.get(s)
+	}
+	return out
+}
+
 // registerMetrics attaches the LLC's counters, derived gauges and
 // subcomponents (NVM array, threshold provider) to the registry.
 func (l *LLC) registerMetrics(reg *metrics.Registry) {

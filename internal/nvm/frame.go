@@ -226,6 +226,12 @@ func (f *Frame) FaultyBytes() int { return FrameBytes - f.live }
 // ResetPhase clears the phase byte-write counter.
 func (f *Frame) ResetPhase() { f.phaseWritten = 0 }
 
+// Disable forcibly kills the whole frame regardless of granularity: the
+// fault-injection layer uses it for frame-kill campaigns. Wear state and
+// the fault map keep their current values; only the dead flag changes, so
+// a disabled frame reports zero live bytes and zero effective capacity.
+func (f *Frame) Disable() { f.dead = true }
+
 // InjectFault forcibly disables byte i (used by fault-injection tests).
 func (f *Frame) InjectFault(i int) {
 	if f.dead || f.faulty.Get(i) {

@@ -8,11 +8,11 @@ import (
 	"repro/internal/workload"
 )
 
-// FuzzReader fuzzes the trace decoder with arbitrary byte streams: it must
-// never panic, and must return either records or an error — truncated
+// FuzzTraceParse fuzzes the trace decoder with arbitrary byte streams: it
+// must never panic, and must return either records or an error — truncated
 // streams yield ErrUnexpectedEOF, garbage yields ErrBadMagic or a version
 // error.
-func FuzzReader(f *testing.F) {
+func FuzzTraceParse(f *testing.F) {
 	// Seed with a valid 3-record trace and a few corruptions of it.
 	var buf bytes.Buffer
 	w := NewWriter(&buf)

@@ -36,3 +36,6 @@ func (p *Program) BumpVersion(block uint64) { p.content.BumpVersion(block) }
 
 // Content implements hier.Program.
 func (p *Program) Content(block uint64) []byte { return p.content.Content(block) }
+
+// Err surfaces the replayer's sticky replay error (nil while healthy).
+func (p *Program) Err() error { return p.rep.Err() }

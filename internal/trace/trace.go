@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/workload"
 )
@@ -111,16 +112,36 @@ func (t *Writer) Flush() error {
 	return t.w.Flush()
 }
 
-// Reader decodes a trace stream.
+// Reader decodes a trace stream. Decoding failures are returned as
+// errors carrying the record index and byte offset of the fault — the
+// reader never panics, whatever the input bytes.
 type Reader struct {
 	r         *bufio.Reader
 	prevBlock uint64
 	started   bool
+	off       int64  // bytes consumed from the underlying stream
+	rec       uint64 // complete records decoded so far
 }
 
 // NewReader wraps r.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Offset returns the number of bytes consumed from the stream.
+func (t *Reader) Offset() int64 { return t.off }
+
+// Records returns the number of complete records decoded.
+func (t *Reader) Records() uint64 { return t.rec }
+
+// readByte reads one byte, keeping the offset current. It implements
+// io.ByteReader so the varint decoders count through it too.
+func (t *Reader) ReadByte() (byte, error) {
+	b, err := t.r.ReadByte()
+	if err == nil {
+		t.off++
+	}
+	return b, err
 }
 
 func (t *Reader) readHeader() error {
@@ -129,8 +150,13 @@ func (t *Reader) readHeader() error {
 	}
 	t.started = true
 	var hdr [8]byte
-	if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
-		return err
+	n, err := io.ReadFull(t.r, hdr[:])
+	t.off += int64(n)
+	if err != nil {
+		if err == io.EOF && n == 0 {
+			return io.ErrUnexpectedEOF // not even a header: not a trace
+		}
+		return t.fault(unexpected(err))
 	}
 	if [4]byte{hdr[0], hdr[1], hdr[2], hdr[3]} != magic {
 		return ErrBadMagic
@@ -141,33 +167,51 @@ func (t *Reader) readHeader() error {
 	return nil
 }
 
-// Read decodes the next record; io.EOF signals a clean end of trace.
+// Read decodes the next record; io.EOF signals a clean end of trace. Any
+// other failure is returned with record/offset context wrapping the
+// underlying error (truncation surfaces as io.ErrUnexpectedEOF).
 func (t *Reader) Read() (workload.Access, error) {
 	var acc workload.Access
 	if err := t.readHeader(); err != nil {
 		return acc, err
 	}
-	head, err := t.r.ReadByte()
+	head, err := t.ReadByte()
 	if err != nil {
-		return acc, err // io.EOF passes through
+		if err == io.EOF {
+			return acc, io.EOF // clean end at a record boundary
+		}
+		return acc, t.fault(err)
 	}
 	acc.Write = head&1 != 0
 	gap := int(head >> 1)
 	if gap == 127 {
-		g, err := binary.ReadUvarint(t.r)
+		g, err := binary.ReadUvarint(t)
 		if err != nil {
-			return acc, unexpected(err)
+			return acc, t.fault(unexpected(err))
+		}
+		if g > uint64(maxInt) {
+			return acc, t.fault(fmt.Errorf("gap %d overflows int", g))
 		}
 		gap = int(g)
 	}
 	acc.Gap = gap
-	delta, err := binary.ReadVarint(t.r)
+	delta, err := binary.ReadVarint(t)
 	if err != nil {
-		return acc, unexpected(err)
+		return acc, t.fault(unexpected(err))
 	}
 	t.prevBlock += uint64(delta)
 	acc.Block = t.prevBlock
+	t.rec++
 	return acc, nil
+}
+
+const maxInt = int(^uint(0) >> 1)
+
+// fault wraps a decoding error with the position context every caller
+// reports: the index of the record being decoded and the byte offset the
+// reader had consumed when decoding failed.
+func (t *Reader) fault(err error) error {
+	return fmt.Errorf("trace: record %d (byte offset %d): %w", t.rec, t.off, err)
 }
 
 // unexpected maps mid-record EOF to ErrUnexpectedEOF so callers can tell
@@ -190,12 +234,19 @@ func Record(app *workload.App, n int, w io.Writer) error {
 	return tw.Flush()
 }
 
+// ErrReplayEnd reports a replay past the end of a non-looping trace.
+var ErrReplayEnd = errors.New("trace: replay past end of trace")
+
 // Replayer adapts a recorded trace to the workload generator interface:
-// it loops the trace when Rewind is enabled and exhausted.
+// it loops the trace when Loop is enabled and exhausted. Replaying past
+// the end of a non-looping trace is not a panic: ReadNext returns
+// ErrReplayEnd, and the Next convenience form records it as the sticky
+// Err while returning zero accesses.
 type Replayer struct {
 	records []workload.Access
 	pos     int
-	// Loop restarts the trace at the end instead of panicking.
+	err     error
+	// Loop restarts the trace at the end instead of failing.
 	Loop bool
 }
 
@@ -216,18 +267,49 @@ func Load(r io.Reader) (*Replayer, error) {
 	return &Replayer{records: recs, Loop: true}, nil
 }
 
+// LoadFile loads a trace from disk, adding the file name to any error.
+func LoadFile(path string) (*Replayer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	rep, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
 // Len returns the number of records in the trace.
 func (r *Replayer) Len() int { return len(r.records) }
 
-// Next returns the next access, looping if enabled.
-func (r *Replayer) Next() workload.Access {
+// Err returns the first replay failure Next swallowed (nil while the
+// replay is healthy). Callers driving a Replayer through the error-blind
+// Program interface must check it when the run completes.
+func (r *Replayer) Err() error { return r.err }
+
+// ReadNext returns the next access, looping if enabled; it returns
+// ErrReplayEnd when a non-looping (or empty) trace is exhausted.
+func (r *Replayer) ReadNext() (workload.Access, error) {
 	if r.pos >= len(r.records) {
 		if !r.Loop || len(r.records) == 0 {
-			panic("trace: replay past end of trace")
+			return workload.Access{}, ErrReplayEnd
 		}
 		r.pos = 0
 	}
 	acc := r.records[r.pos]
 	r.pos++
+	return acc, nil
+}
+
+// Next returns the next access, looping if enabled. Exhaustion of a
+// non-looping trace yields zero-valued accesses and is reported through
+// Err rather than a panic.
+func (r *Replayer) Next() workload.Access {
+	acc, err := r.ReadNext()
+	if err != nil && r.err == nil {
+		r.err = err
+	}
 	return acc
 }

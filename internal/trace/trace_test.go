@@ -2,7 +2,11 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -82,8 +86,72 @@ func TestTruncatedRecord(t *testing.T) {
 	}
 	data := buf.Bytes()
 	r := NewReader(bytes.NewReader(data[:len(data)-1]))
-	if _, err := r.Read(); err != io.ErrUnexpectedEOF {
+	_, err := r.Read()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+	// The error carries the faulting record and byte offset for operators
+	// locating corruption in long traces.
+	if !strings.Contains(err.Error(), "record 0") || !strings.Contains(err.Error(), "byte offset") {
+		t.Fatalf("error lacks position context: %v", err)
+	}
+}
+
+func TestReaderOffsetTracking(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := w.Write(workload.Access{Block: uint64(i * 1000), Gap: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	for i := 0; i < 3; i++ {
+		if _, err := r.Read(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if r.Offset() != int64(buf.Len()) {
+		t.Fatalf("offset %d, want %d", r.Offset(), buf.Len())
+	}
+	if r.Records() != 3 {
+		t.Fatalf("records %d, want 3", r.Records())
+	}
+}
+
+func TestLoadFileContext(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.trace")
+	if err := os.WriteFile(path, []byte("HLLC\x01\x00\x00\x00\xff"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil || !strings.Contains(err.Error(), "bad.trace") {
+		t.Fatalf("error lacks file context: %v", err)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.trace")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	good := filepath.Join(dir, "ok.trace")
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(workload.Access{Block: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LoadFile(good)
+	if err != nil || rep.Len() != 1 {
+		t.Fatalf("rep=%v err=%v", rep, err)
 	}
 }
 
@@ -138,14 +206,42 @@ func TestReplayerLoops(t *testing.T) {
 	}
 }
 
-func TestReplayerPanicsWithoutLoop(t *testing.T) {
+func TestReplayEndIsErrorNotPanic(t *testing.T) {
 	rep := &Replayer{}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("empty replay did not panic")
+	if _, err := rep.ReadNext(); !errors.Is(err, ErrReplayEnd) {
+		t.Fatalf("want ErrReplayEnd, got %v", err)
+	}
+	// The Program-interface form swallows the error into the sticky Err.
+	if acc := rep.Next(); acc != (workload.Access{}) {
+		t.Fatalf("exhausted Next returned %+v", acc)
+	}
+	if !errors.Is(rep.Err(), ErrReplayEnd) {
+		t.Fatalf("sticky err = %v", rep.Err())
+	}
+}
+
+func TestReplayerNonLoopExhaustion(t *testing.T) {
+	app, _ := workload.NewApp(workload.Profiles()["xz17"], 0, 1)
+	var buf bytes.Buffer
+	if err := Record(app, 4, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Loop = false
+	for i := 0; i < 4; i++ {
+		if _, err := rep.ReadNext(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
 		}
-	}()
-	rep.Next()
+	}
+	if _, err := rep.ReadNext(); !errors.Is(err, ErrReplayEnd) {
+		t.Fatalf("want ErrReplayEnd, got %v", err)
+	}
+	if rep.Err() != nil {
+		t.Fatalf("ReadNext must not poison Err: %v", rep.Err())
+	}
 }
 
 func TestCompactness(t *testing.T) {
