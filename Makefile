@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check ci fuzz-smoke faultstudy bench bench-figures validate experiments clean
+.PHONY: all build test vet fmt-check ci fuzz-smoke faultstudy bench bench-go bench-figures validate experiments clean
 
 all: build vet test
 
@@ -26,6 +26,7 @@ ci: fmt-check vet build
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(GO) run ./cmd/faultstudy -quick
+	$(MAKE) bench
 
 # Ten seconds of coverage-guided fuzzing per target, on top of the
 # checked-in corpora (which always replay as part of go test).
@@ -37,9 +38,15 @@ fuzz-smoke:
 faultstudy:
 	$(GO) run ./cmd/faultstudy -quick
 
-# Full benchmark suite: one benchmark per paper table/figure, plus the
-# ablation/extension benches and the substrate microbenchmarks.
+# Hot-path performance baseline: ns/allocs/bytes per LLC access across a
+# mix×policy cross on the quick configuration. CI uploads the JSON as an
+# artifact; compare two runs by diffing the files.
 bench:
+	$(GO) run ./cmd/bench -quick -mixes 1,4 -policies BH,CA,CP_SD,TAP -out BENCH_hotpath.json
+
+# Full go-test benchmark suite: one benchmark per paper table/figure,
+# plus the ablation/extension benches and the substrate microbenchmarks.
+bench-go:
 	$(GO) test -bench=. -benchmem -benchtime 1x ./...
 
 # Only the figure/table reproductions, with their row logs.
@@ -66,4 +73,4 @@ experiments:
 	$(GO) run ./cmd/energy     -mixes 1,4,6,8           > results/energy.txt
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt BENCH_hotpath.json

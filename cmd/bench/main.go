@@ -1,0 +1,149 @@
+// Command bench measures the simulator's hot-path cost — ns, heap
+// allocations and allocated bytes per LLC access — across a mix×policy
+// cross, and writes the result as BENCH_hotpath.json through the shared
+// report sink. It is the performance baseline the alloc-regression tests
+// pin: run it before and after a change and compare the JSON (or pipe
+// two text runs through benchstat).
+//
+//	bench -quick                               # CI baseline, writes BENCH_hotpath.json
+//	bench -quick -mixes 1,2 -policies BH,CP_SD # a smaller cross
+//	bench -cpuprofile cpu.out -memprofile mem.out -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "small configuration, short windows")
+	mixes := flag.String("mixes", "1", `mixes to bench: "all" or comma-separated 1-based list`)
+	policies := flag.String("policies", "all", `policies to bench: "all" or comma-separated names`)
+	warmup := flag.Uint64("warmup", 0, "warm-up cycles (0 = preset default)")
+	measure := flag.Uint64("measure", 0, "measured cycles (0 = preset default)")
+	seed := flag.Uint64("seed", 1, "workload and endurance seed")
+	out := flag.String("out", "BENCH_hotpath.json", "JSON report path (empty disables)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile after the sweep")
+	csvOut := flag.Bool("csv", false, "emit CSV on stdout")
+	jsonOut := flag.Bool("json", false, "emit JSON on stdout")
+	flag.Parse()
+
+	mixList, err := cliutil.ParseMixes(*mixes)
+	if err != nil {
+		fatal(err)
+	}
+	polList, err := parsePolicies(*policies)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	w, m := uint64(2_000_000), uint64(2_000_000)
+	if *quick {
+		cfg = core.QuickConfig()
+		w, m = 300_000, 300_000
+	}
+	if *warmup > 0 {
+		w = *warmup
+	}
+	if *measure > 0 {
+		m = *measure
+	}
+	cfg.Seed = *seed
+	opt := experiments.HotPathOptions{
+		Base:     cfg,
+		Mixes:    mixList,
+		Policies: polList,
+		Warmup:   w,
+		Measure:  m,
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rows, results, err := experiments.HotPathBench(opt)
+	if err != nil {
+		fatal(err)
+	}
+	rep := experiments.HotPathReport(opt, rows, results)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.Write(f, report.JSON); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
+	}
+	if err := rep.Write(os.Stdout, report.FormatOf(*jsonOut, *csvOut)); err != nil {
+		fatal(err)
+	}
+	if err := cliutil.ErrOf(results); err != nil {
+		fatal(err)
+	}
+}
+
+// parsePolicies converts the -policies selector into policy names,
+// validated against the registry.
+func parsePolicies(arg string) ([]string, error) {
+	if arg == "all" {
+		return core.Policies(), nil
+	}
+	valid := make(map[string]bool)
+	for _, p := range core.Policies() {
+		valid[p] = true
+	}
+	var out []string
+	for _, tok := range strings.Split(arg, ",") {
+		p := strings.TrimSpace(tok)
+		if !valid[p] {
+			return nil, fmt.Errorf("unknown policy %q (valid: %v)", p, core.Policies())
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty policy list")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

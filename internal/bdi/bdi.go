@@ -16,6 +16,7 @@ package bdi
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 )
 
 // BlockSize is the uncompressed cache block size in bytes.
@@ -165,49 +166,167 @@ type Compressed struct {
 // Size returns the compressed payload size in bytes.
 func (c Compressed) Size() int { return len(c.Data) }
 
-// Compress compresses a 64-byte block, choosing the smallest applicable
-// encoding. It panics if the block is not exactly BlockSize bytes, which
-// would indicate a simulator bug rather than a data condition.
-func Compress(block []byte) Compressed {
+// EncodingOf computes the smallest applicable encoding for a 64-byte
+// block without materializing any payload bytes. It is the size-only probe
+// of the hardware's parallel encoder bank: one pass over the block derives
+// the minimal signed delta width for each base size, and the smallest
+// covering encoding wins. EncodingOf never allocates; it panics if the
+// block is not exactly BlockSize bytes, which would indicate a simulator
+// bug rather than a data condition.
+func EncodingOf(block []byte) Encoding {
 	if len(block) != BlockSize {
 		panic(fmt.Sprintf("bdi: block size %d, want %d", len(block), BlockSize))
 	}
-	if isZeros(block) {
-		return Compressed{EncZeros, []byte{0}}
-	}
-	if rep, ok := tryRep8(block); ok {
-		return rep
-	}
-	for _, enc := range candidateOrder {
-		if c, ok := tryBaseDelta(block, enc); ok {
-			return c
+	// One pass over the 8-byte values covers the zeros, Rep8 and base-8
+	// probes; the base-4 and base-2 probes reuse the same loads.
+	base8 := int64(binary.LittleEndian.Uint64(block))
+	allZero, allRep := true, true
+	w8 := 1 // minimal delta width (bytes) covering every base-8 delta
+	for i := 0; i < BlockSize; i += 8 {
+		v := int64(binary.LittleEndian.Uint64(block[i:]))
+		if v != 0 {
+			allZero = false
+		}
+		if v != base8 {
+			allRep = false
+		}
+		if w := deltaWidth(v - base8); w > w8 {
+			w8 = w
 		}
 	}
-	return Compressed{EncUncompressed, append([]byte(nil), block...)}
+	if allZero {
+		return EncZeros
+	}
+	if allRep {
+		return EncRep8
+	}
+	base4 := signExtend(int64(binary.LittleEndian.Uint32(block)), 4)
+	w4 := 1
+	for i := 0; i < BlockSize; i += 4 {
+		v := signExtend(int64(binary.LittleEndian.Uint32(block[i:])), 4)
+		if w := deltaWidth(v - base4); w > w4 {
+			w4 = w
+		}
+	}
+	base2 := signExtend(int64(binary.LittleEndian.Uint16(block)), 2)
+	w2 := 1
+	for i := 0; i < BlockSize; i += 2 {
+		v := signExtend(int64(binary.LittleEndian.Uint16(block[i:])), 2)
+		if w := deltaWidth(v - base2); w > w2 {
+			w2 = w
+		}
+	}
+	// Pick the smallest covering encoding. The candidate sizes are all
+	// distinct, so minimizing size is identical to taking the first
+	// covering entry of candidateOrder.
+	best, bestSize := EncUncompressed, BlockSize
+	if w8 <= 6 {
+		best, bestSize = b8Encodings[w8], specs[b8Encodings[w8]].Size
+	}
+	if w4 <= 3 && specs[b4Encodings[w4]].Size < bestSize {
+		best, bestSize = b4Encodings[w4], specs[b4Encodings[w4]].Size
+	}
+	if w2 <= 1 && specs[EncB2D1].Size < bestSize {
+		best = EncB2D1
+	}
+	return best
+}
+
+// b8Encodings and b4Encodings map a required delta width to the encoding
+// of that base size.
+var (
+	b8Encodings = [7]Encoding{0, EncB8D1, EncB8D2, EncB8D3, EncB8D4, EncB8D5, EncB8D6}
+	b4Encodings = [4]Encoding{0, EncB4D1, EncB4D2, EncB4D3}
+)
+
+// deltaWidth returns the minimal number of bytes whose signed range covers
+// d (1..9; values above 8 mean "wider than any encoding").
+func deltaWidth(d int64) int {
+	// Significant bits of the two's-complement representation: magnitude
+	// bits (with negative values folded via complement) plus a sign bit.
+	return (bits.Len64(uint64(d^(d>>63))) + 8) / 8
+}
+
+// SizeOf returns the compressed size of a block in bytes without building
+// payload bytes — the cheap size-only function every insertion-policy
+// decision uses. It is equivalent to Compress(block).Size() and allocates
+// nothing.
+func SizeOf(block []byte) int { return specs[EncodingOf(block)].Size }
+
+// Compress compresses a 64-byte block, choosing the smallest applicable
+// encoding. It panics if the block is not exactly BlockSize bytes, which
+// would indicate a simulator bug rather than a data condition.
+func Compress(block []byte) Compressed { return CompressInto(nil, block) }
+
+// CompressInto compresses a 64-byte block like Compress, writing the
+// payload into scratch (grown only when its capacity is insufficient; a
+// 64-byte scratch always suffices). The returned Compressed.Data aliases
+// scratch's storage, so the caller owns the buffer and must not modify it
+// while the Compressed value is in use. With an adequate scratch the call
+// performs zero allocations.
+func CompressInto(scratch []byte, block []byte) Compressed {
+	enc := EncodingOf(block)
+	spec := &specs[enc]
+	if cap(scratch) < spec.Size {
+		scratch = make([]byte, spec.Size)
+	}
+	data := scratch[:spec.Size]
+	switch enc {
+	case EncUncompressed:
+		copy(data, block)
+	case EncZeros:
+		data[0] = 0
+	case EncRep8:
+		copy(data, block[:8])
+	default:
+		base := signExtend(int64(readUint(block[:spec.Base], spec.Base)), spec.Base)
+		writeUint(data, uint64(base), spec.Base)
+		n := BlockSize / spec.Base
+		for i := 0; i < n; i++ {
+			v := signExtend(int64(readUint(block[i*spec.Base:], spec.Base)), spec.Base)
+			writeUint(data[spec.Base+i*spec.Delta:], uint64(v-base), spec.Delta)
+		}
+	}
+	return Compressed{enc, data}
 }
 
 // CompressedSize returns only the compressed size of block, a convenience
 // for policy decisions that do not need the payload.
-func CompressedSize(block []byte) int { return Compress(block).Size() }
+//
+// Deprecated: use SizeOf, which computes the same value without building
+// payload bytes.
+func CompressedSize(block []byte) int { return SizeOf(block) }
 
 // Decompress reconstructs the original 64-byte block. It returns an error
 // if the payload length does not match the encoding, which in hardware
 // corresponds to a corrupted CE field.
 func Decompress(c Compressed) ([]byte, error) {
+	return DecompressInto(nil, c)
+}
+
+// DecompressInto reconstructs the original 64-byte block into dst (grown
+// only when its capacity is below BlockSize). The returned slice aliases
+// dst's storage; with an adequate dst the call performs zero allocations.
+func DecompressInto(dst []byte, c Compressed) ([]byte, error) {
 	if c.Enc >= numEncodings {
 		return nil, fmt.Errorf("bdi: invalid encoding %d", c.Enc)
 	}
-	spec := specs[c.Enc]
+	spec := &specs[c.Enc]
 	if len(c.Data) != spec.Size {
 		return nil, fmt.Errorf("bdi: payload %dB does not match encoding %s (%dB)",
 			len(c.Data), spec.Name, spec.Size)
 	}
-	out := make([]byte, BlockSize)
+	if cap(dst) < BlockSize {
+		dst = make([]byte, BlockSize)
+	}
+	out := dst[:BlockSize]
 	switch c.Enc {
 	case EncUncompressed:
 		copy(out, c.Data)
 	case EncZeros:
-		// out is already zero.
+		for i := range out {
+			out[i] = 0
+		}
 	case EncRep8:
 		for i := 0; i < BlockSize; i += 8 {
 			copy(out[i:i+8], c.Data)
@@ -223,58 +342,6 @@ func Decompress(c Compressed) ([]byte, error) {
 		}
 	}
 	return out, nil
-}
-
-func isZeros(b []byte) bool {
-	for _, v := range b {
-		if v != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-func tryRep8(block []byte) (Compressed, bool) {
-	first := block[:8]
-	for i := 8; i < BlockSize; i += 8 {
-		for j := 0; j < 8; j++ {
-			if block[i+j] != first[j] {
-				return Compressed{}, false
-			}
-		}
-	}
-	return Compressed{EncRep8, append([]byte(nil), first...)}, true
-}
-
-// tryBaseDelta attempts a base+delta encoding. Following the original BDI,
-// the base is the first value of the block and the remaining values must
-// fit as signed deltas of the spec's width. (The original also allows an
-// implicit zero base combined with a non-zero base; our single-base variant
-// is the common simplification and only forgoes a small amount of coverage,
-// which the workload profiles account for.)
-func tryBaseDelta(block []byte, enc Encoding) (Compressed, bool) {
-	spec := specs[enc]
-	n := BlockSize / spec.Base
-	base := signExtend(int64(readUint(block[:spec.Base], spec.Base)), spec.Base)
-	lo, hi := deltaRange(spec.Delta)
-	data := make([]byte, spec.Size)
-	writeUint(data, uint64(base), spec.Base)
-	for i := 0; i < n; i++ {
-		v := signExtend(int64(readUint(block[i*spec.Base:], spec.Base)), spec.Base)
-		d := v - base
-		if d < lo || d > hi {
-			return Compressed{}, false
-		}
-		writeUint(data[spec.Base+i*spec.Delta:], uint64(d), spec.Delta)
-	}
-	return Compressed{enc, data}, true
-}
-
-// deltaRange returns the inclusive signed range representable in w bytes.
-func deltaRange(w int) (int64, int64) {
-	bits := uint(w * 8)
-	hi := int64(1)<<(bits-1) - 1
-	return -hi - 1, hi
 }
 
 func readUint(b []byte, w int) uint64 {

@@ -197,8 +197,8 @@ func TestCompressPicksSmallest(t *testing.T) {
 		}
 		chosen := Compress(b)
 		for _, enc := range candidateOrder {
-			if c, ok := tryBaseDelta(b, enc); ok {
-				if c.Size() < chosen.Size() {
+			if refCovers(b, enc) {
+				if enc.Size() < chosen.Size() {
 					return false
 				}
 				break // candidateOrder is sorted by size

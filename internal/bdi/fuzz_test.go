@@ -43,6 +43,14 @@ func FuzzBDIRoundTrip(f *testing.F) {
 		if len(c.Data) != c.Enc.Size() {
 			t.Fatalf("payload %d bytes for %v (size %d)", len(c.Data), c.Enc, c.Enc.Size())
 		}
+		// The size-only probe and the reference chooser must agree with the
+		// payload-building compressor on every fuzz input.
+		if got := SizeOf(data); got != c.Size() {
+			t.Fatalf("SizeOf = %d, Compress().Size() = %d (%v)", got, c.Size(), c.Enc)
+		}
+		if got := refEncoding(data); got != c.Enc {
+			t.Fatalf("reference encoding %v, Compress chose %v", got, c.Enc)
+		}
 		out, err := Decompress(c)
 		if err != nil {
 			t.Fatalf("decompress: %v", err)

@@ -105,11 +105,30 @@ func (w *Codeword) setBit(i, v int) {
 // bits at power-of-two positions and data elsewhere, plus the overall
 // parity stored at index 0.
 func (c *Code) Encode(data []byte) *Codeword {
+	return c.EncodeInto(nil, data)
+}
+
+// EncodeInto encodes like Encode but reuses w's storage when it is non-nil
+// and large enough, so steady-state encoding performs zero allocations. It
+// returns the codeword actually used (w itself, or a fresh one when w was
+// nil or undersized).
+func (c *Code) EncodeInto(w *Codeword, data []byte) *Codeword {
 	if len(data)*8 < c.dataBits {
 		panic(fmt.Sprintf("ecc: need %d data bits, got %d", c.dataBits, len(data)*8))
 	}
 	m := c.dataBits + c.checkBits
-	w := newCodeword(m + 1)
+	n := m + 1
+	if w == nil || cap(w.Bits) < (n+7)/8 {
+		w = newCodeword(n)
+	} else {
+		w.Bits = w.Bits[:(n+7)/8]
+		w.n = n
+		// Clear stale bits past position m so codeword bytes compare equal
+		// regardless of the buffer's history.
+		for i := range w.Bits {
+			w.Bits[i] = 0
+		}
+	}
 	// Place data bits at non-power-of-two Hamming positions 1..m.
 	di := 0
 	for pos := 1; pos <= m; pos++ {
@@ -144,6 +163,14 @@ func (c *Code) Encode(data []byte) *Codeword {
 // data bits, the decode status, and for Corrected the flipped codeword bit
 // position (-1 otherwise).
 func (c *Code) Decode(w *Codeword) (data []byte, st Status, pos int) {
+	return c.DecodeInto(nil, w)
+}
+
+// DecodeInto decodes like Decode but writes the extracted data bits into
+// dst when its capacity suffices (allocating otherwise), so steady-state
+// decoding performs zero allocations. The returned slice aliases dst's
+// storage when it was reused.
+func (c *Code) DecodeInto(dst []byte, w *Codeword) (data []byte, st Status, pos int) {
 	m := c.dataBits + c.checkBits
 	if w.n != m+1 {
 		panic(fmt.Sprintf("ecc: codeword length %d, want %d", w.n, m+1))
@@ -188,7 +215,14 @@ func (c *Code) Decode(w *Codeword) (data []byte, st Status, pos int) {
 	if st == Detected {
 		return nil, st, -1
 	}
-	data = make([]byte, (c.dataBits+7)/8)
+	nbytes := (c.dataBits + 7) / 8
+	if cap(dst) < nbytes {
+		dst = make([]byte, nbytes)
+	}
+	data = dst[:nbytes]
+	for i := range data {
+		data[i] = 0
+	}
 	di := 0
 	for i := 1; i <= m; i++ {
 		if isPow2(i) {

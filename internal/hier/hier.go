@@ -85,6 +85,11 @@ type Program interface {
 	BumpVersion(block uint64)
 	// Content returns the block's current 64-byte contents.
 	Content(block uint64) []byte
+	// ContentInto writes the block's current 64-byte contents into dst
+	// when its capacity suffices (allocating otherwise) and returns the
+	// slice; the hierarchy uses it on the per-insert hot path so content
+	// generation does not allocate.
+	ContentInto(dst []byte, block uint64) []byte
 }
 
 // Core is one simulated core: a program plus private caches.
@@ -145,6 +150,18 @@ type System struct {
 	epochPrev   []uint64
 	epochInsts  []uint64
 	epochCycles []uint64
+
+	// accesses counts memory accesses executed (one per step); the bench
+	// harness divides wall time by its delta for ns/access.
+	accesses uint64
+	// contentBuf is the per-system scratch the L2-eviction path fills with
+	// block contents before handing them to the LLC, so the per-insert
+	// content generation allocates nothing. Owned by the system; contents
+	// are only valid for the duration of one LLC insert.
+	contentBuf [64]byte
+	// Run window scratch, reused across calls.
+	runInsts  []uint64
+	runCycles []uint64
 }
 
 // EpochColumns are the per-epoch series recorded by the system, in ring
@@ -202,6 +219,7 @@ func (s *System) registerMetrics(reg *metrics.Registry, ringCap int) {
 	s.reg = reg
 	reg.Counter("sys.mem_fetches", &s.MemFetches)
 	reg.Counter("sys.bank_stall_cycles", &s.BankStallCycles)
+	reg.Counter("sys.accesses", &s.accesses)
 	reg.CounterFunc("sys.epochs", func() uint64 { return uint64(s.Epochs) })
 	for i, c := range s.cores {
 		c := c
@@ -325,8 +343,11 @@ type RunStats struct {
 func (s *System) Run(cycles uint64) RunStats {
 	start := s.Now()
 	target := start + cycles
-	startInsts := make([]uint64, len(s.cores))
-	startCycles := make([]uint64, len(s.cores))
+	if s.runInsts == nil {
+		s.runInsts = make([]uint64, len(s.cores))
+		s.runCycles = make([]uint64, len(s.cores))
+	}
+	startInsts, startCycles := s.runInsts, s.runCycles
 	for i, c := range s.cores {
 		startInsts[i] = c.insts
 		startCycles[i] = c.cycles
@@ -376,11 +397,15 @@ func (s *System) Run(cycles uint64) RunStats {
 	return out
 }
 
+// Accesses returns the total number of memory accesses executed.
+func (s *System) Accesses() uint64 { return s.accesses }
+
 // step executes one memory access on a core.
 func (s *System) step(c *Core) {
 	if s.probe != nil {
 		defer s.probe.OnAccess()
 	}
+	s.accesses++
 	acc := c.app.Next()
 	lat := &s.cfg.Lat
 	c.insts += uint64(acc.Gap) + 1
@@ -473,7 +498,7 @@ func (s *System) fillL2(c *Core, block uint64, dirty bool, flags uint8) {
 	}
 	var content []byte
 	if s.llc.CompressionEnabled() {
-		content = s.appOf(ev.Block).Content(ev.Block)
+		content = s.appOf(ev.Block).ContentInto(s.contentBuf[:], ev.Block)
 	}
 	out := s.llc.Insert(ev.Block, ev.Dirty, tag, content)
 	if occ := bankWriteOcc(out); occ > 0 {

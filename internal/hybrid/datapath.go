@@ -34,14 +34,26 @@ type StoredBlock struct {
 }
 
 // DataPath bundles the compressor and SECDED code of the NVM pipeline.
+// The scratch buffers below are owned by the data path and reused across
+// calls, so steady-state writes and reads perform zero allocations; a
+// DataPath must therefore not be shared between goroutines, matching the
+// one-LLC-per-system ownership everywhere else.
 type DataPath struct {
 	code *ecc.Code
+
+	cmpBuf     [bdi.BlockSize]byte // compression payload scratch
+	vecBuf     [65]byte            // 516-bit SECDED data vector
+	ecbBuf     [nvm.FrameBytes]byte
+	cw         *ecc.Codeword // encode/decode codeword, reused
+	decodedBuf []byte        // corrected data vector from DecodeInto
+	payloadBuf [bdi.BlockSize]byte
+	blockBuf   [bdi.BlockSize]byte // decompressed block (aliased by ReadBlock results)
 }
 
 // NewDataPath builds the reference data path with the paper's (527,516)
 // SECDED code.
 func NewDataPath() *DataPath {
-	return &DataPath{code: ecc.NVMData()}
+	return &DataPath{code: ecc.NVMData(), decodedBuf: make([]byte, 65)}
 }
 
 // ecbBytes is the ECB size for a given compressed payload: CB plus the
@@ -53,7 +65,7 @@ func ecbBytes(cbSize int) int { return cbSize + nvm.MetaBytes }
 // fails if the frame cannot hold the compressed block.
 func (d *DataPath) WriteBlock(block []byte, f *nvm.Frame, counter int) (StoredBlock, error) {
 	var out StoredBlock
-	c := bdi.Compress(block)
+	c := bdi.CompressInto(d.cmpBuf[:], block)
 	if !f.Fits(c.Size()) {
 		return out, fmt.Errorf("hybrid: %v block (%dB) does not fit frame capacity %d",
 			c.Enc, c.Size(), f.EffectiveCapacity())
@@ -82,16 +94,19 @@ func (d *DataPath) WriteBlock(block []byte, f *nvm.Frame, counter int) (StoredBl
 // The SECDED code protects 516 bits: the CE nibble plus the CB padded with
 // zeros to 512 bits, exactly as in §III-B1.
 func (d *DataPath) formECB(c bdi.Compressed) []byte {
-	data := make([]byte, 65) // 516 bits: 4 CE + 512 block
+	data := d.vecBuf[:] // 516 bits: 4 CE + 512 block
+	for i := range data {
+		data[i] = 0
+	}
 	data[0] = uint8(c.Enc) & 0x0F
 	for i, v := range c.Data {
 		// Payload starts at bit 4.
 		data[i] |= v << 4
 		data[i+1] = v >> 4
 	}
-	w := d.code.Encode(data)
-	check := extractCheckBits(w, d.code)
-	ecb := make([]byte, ecbBytes(c.Size()))
+	d.cw = d.code.EncodeInto(d.cw, data)
+	check := extractCheckBits(d.cw, d.code)
+	ecb := d.ecbBuf[:ecbBytes(c.Size())]
 	ecb[0] = uint8(c.Enc)&0x0F | (uint8(check)&0x0F)<<4
 	ecb[1] = uint8(check >> 4)
 	copy(ecb[2:], c.Data)
@@ -115,9 +130,10 @@ func extractCheckBits(w *ecc.Codeword, code *ecc.Code) uint16 {
 // ReadBlock gathers the ECB back from the stored frame image using the
 // fault map recorded at write time, verifies and corrects it with SECDED,
 // and decompresses the payload. Bytes that failed after the write surface
-// as bit errors, which is exactly what SECDED catches.
+// as bit errors, which is exactly what SECDED catches. The returned slice
+// aliases the data path's scratch and is only valid until the next call.
 func (d *DataPath) ReadBlock(st StoredBlock) ([]byte, ecc.Status, error) {
-	ecb, err := nvm.Gather(st.RECB, st.FMap, st.Counter, st.ECBLen)
+	ecb, err := nvm.GatherInto(d.ecbBuf[:], st.RECB, st.FMap, st.Counter, st.ECBLen)
 	if err != nil {
 		return nil, ecc.Detected, err
 	}
@@ -126,13 +142,17 @@ func (d *DataPath) ReadBlock(st StoredBlock) ([]byte, ecc.Status, error) {
 	cb := ecb[2:]
 
 	// Rebuild the 516-bit data vector and codeword.
-	data := make([]byte, 65)
+	data := d.vecBuf[:]
+	for i := range data {
+		data[i] = 0
+	}
 	data[0] = uint8(enc) & 0x0F
 	for i, v := range cb {
 		data[i] |= v << 4
 		data[i+1] = v >> 4
 	}
-	w := d.code.Encode(data)
+	d.cw = d.code.EncodeInto(d.cw, data)
+	w := d.cw
 	// Replace the computed check bits with the stored ones; a mismatch is
 	// an error syndrome.
 	stored := check
@@ -148,21 +168,22 @@ func (d *DataPath) ReadBlock(st StoredBlock) ([]byte, ecc.Status, error) {
 		setBit(1<<uint(k), stored>>n)
 		n++
 	}
-	corrected, status, _ := d.code.Decode(w)
+	corrected, status, _ := d.code.DecodeInto(d.decodedBuf, w)
 	if status == ecc.Detected {
 		return nil, status, ErrUncorrectable
 	}
+	d.decodedBuf = corrected
 	// Extract CE and payload from the (possibly corrected) data bits.
 	encC := bdi.Encoding(corrected[0] & 0x0F)
 	if !bdi.Valid(encC) {
 		return nil, ecc.Detected, fmt.Errorf("hybrid: corrupt CE field %d", encC)
 	}
 	spec := bdi.SpecOf(encC)
-	payload := make([]byte, spec.Size)
+	payload := d.payloadBuf[:spec.Size]
 	for i := range payload {
 		payload[i] = corrected[i]>>4 | corrected[i+1]<<4
 	}
-	blockBytes, err := bdi.Decompress(bdi.Compressed{Enc: encC, Data: payload})
+	blockBytes, err := bdi.DecompressInto(d.blockBuf[:], bdi.Compressed{Enc: encC, Data: payload})
 	if err != nil {
 		return nil, status, err
 	}

@@ -131,6 +131,11 @@ type LLC struct {
 	data                    *dataStore
 	nvmRepl                 Replacement
 	reg                     *metrics.Registry
+	// capScratch caches each way's effective capacity for the duration of
+	// one victim-selection pass, so the fit-check loops resolve each frame
+	// (and its set remap) once instead of per candidate comparison. Owned
+	// by the LLC; only valid inside a single insert.
+	capScratch []int
 
 	Stats Stats
 }
@@ -173,6 +178,7 @@ func New(cfg Config) *LLC {
 		hcrOnly:     cfg.HCROnly,
 		noGetXInval: cfg.NoGetXInvalidate,
 		nvmRepl:     cfg.NVMReplacement,
+		capScratch:  make([]int, cfg.SRAMWays+cfg.NVMWays),
 	}
 	if cfg.NVMWays > 0 {
 		l.arr = nvm.NewArray(cfg.Sets, cfg.NVMWays, cfg.Endurance, cfg.Sampler, cfg.Policy.Granularity())
@@ -331,7 +337,7 @@ func (l *LLC) Insert(block uint64, dirty bool, tag BlockTag, content []byte) Ins
 	set, way, e := l.find(block)
 	cb := bdi.BlockSize
 	if l.pol.Compressed() && content != nil {
-		cb = bdi.CompressedSize(content)
+		cb = bdi.SizeOf(content)
 		if l.hcrOnly && cb > bdi.HCRLimit {
 			cb = bdi.BlockSize // original BDI: LCR encodings discarded
 		}
@@ -435,6 +441,17 @@ func (l *LLC) insertNVM(set int, block uint64, dirty bool, tag BlockTag, cb int,
 	return true
 }
 
+// nvmCaps refreshes capScratch with each NVM way's effective capacity for
+// the current set. Capacities only change when a write lands, so one
+// snapshot is valid for a whole victim-selection pass.
+func (l *LLC) nvmCaps(set int) []int {
+	caps := l.capScratch
+	for w := l.sramWays; w < l.ways(); w++ {
+		caps[w] = l.frameOf(set, w).EffectiveCapacity()
+	}
+	return caps
+}
+
 // chooseNVMVictim picks the NVM way to fill for a cb-sized block, or -1
 // when no frame fits.
 func (l *LLC) chooseNVMVictim(set, cb int) int {
@@ -442,10 +459,11 @@ func (l *LLC) chooseNVMVictim(set, cb int) int {
 	case FitRRIP:
 		return l.chooseNVMVictimRRIP(set, cb)
 	default:
+		caps := l.nvmCaps(set)
 		victim := -1
 		victimTick := ^uint64(0)
 		for w := l.sramWays; w < l.ways(); w++ {
-			if !l.frameOf(set, w).Fits(cb) {
+			if cb > caps[w] {
 				continue
 			}
 			e := l.entryAt(set, w)
@@ -464,9 +482,10 @@ func (l *LLC) chooseNVMVictim(set, cb int) int {
 // invalid way, then the first fitting entry with RRPV 3; if none, age
 // every fitting entry and retry.
 func (l *LLC) chooseNVMVictimRRIP(set, cb int) int {
+	caps := l.nvmCaps(set)
 	anyFit := false
 	for w := l.sramWays; w < l.ways(); w++ {
-		if l.frameOf(set, w).Fits(cb) {
+		if cb <= caps[w] {
 			anyFit = true
 			if !l.entryAt(set, w).valid {
 				return w
@@ -478,7 +497,7 @@ func (l *LLC) chooseNVMVictimRRIP(set, cb int) int {
 	}
 	for {
 		for w := l.sramWays; w < l.ways(); w++ {
-			if !l.frameOf(set, w).Fits(cb) {
+			if cb > caps[w] {
 				continue
 			}
 			if l.entryAt(set, w).rrpv >= 3 {
@@ -486,7 +505,7 @@ func (l *LLC) chooseNVMVictimRRIP(set, cb int) int {
 			}
 		}
 		for w := l.sramWays; w < l.ways(); w++ {
-			if l.frameOf(set, w).Fits(cb) {
+			if cb <= caps[w] {
 				if e := l.entryAt(set, w); e.valid && e.rrpv < 3 {
 					e.rrpv++
 				}
@@ -590,10 +609,14 @@ func (l *LLC) evict(set, way int) {
 // (Fit-)LRU list across both parts. The victim is the LRU entry among the
 // frames the incoming block fits in; SRAM frames always fit.
 func (l *LLC) insertGlobal(set int, block uint64, dirty bool, tag BlockTag, cb int, content []byte) {
+	var caps []int
+	if l.nvmWays > 0 {
+		caps = l.nvmCaps(set)
+	}
 	victim := -1
 	victimTick := ^uint64(0)
 	for w := 0; w < l.ways(); w++ {
-		if l.partOf(w) == NVM && !l.frameOf(set, w).Fits(cb) {
+		if l.partOf(w) == NVM && cb > caps[w] {
 			continue
 		}
 		e := l.entryAt(set, w)

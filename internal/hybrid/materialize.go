@@ -16,11 +16,16 @@ import (
 // The mode costs roughly an order of magnitude in simulation speed and is
 // meant for validation runs and tests, not for the forecast sweeps.
 
-// dataStore holds the side state of materialized mode.
+// dataStore holds the side state of materialized mode. Contents and images
+// are stored in flat per-slot arrays whose buffers are reused across fills,
+// so a steady-state materialized insert allocates nothing; hasContent /
+// hasImage carry the validity that nil-ing the slices used to.
 type dataStore struct {
-	path     *DataPath
-	contents [][]byte       // per entry slot: true block contents
-	images   []*StoredBlock // per entry slot: NVM physical image (nil in SRAM)
+	path       *DataPath
+	contents   [][]byte // per entry slot: true block contents (buffer reused)
+	hasContent []bool
+	images     []StoredBlock // per entry slot: NVM physical image
+	hasImage   []bool
 }
 
 // initMaterialize validates and installs the mode.
@@ -33,9 +38,11 @@ func (l *LLC) initMaterialize() {
 	}
 	n := l.sets * l.ways()
 	l.data = &dataStore{
-		path:     NewDataPath(),
-		contents: make([][]byte, n),
-		images:   make([]*StoredBlock, n),
+		path:       NewDataPath(),
+		contents:   make([][]byte, n),
+		hasContent: make([]bool, n),
+		images:     make([]StoredBlock, n),
+		hasImage:   make([]bool, n),
 	}
 }
 
@@ -53,13 +60,20 @@ func (l *LLC) rememberContent(set, way int, content []byte) {
 		return
 	}
 	idx := l.slot(set, way)
-	l.data.images[idx] = nil
-	l.data.contents[idx] = nil
+	l.data.hasImage[idx] = false
+	l.data.hasContent[idx] = false
 	if content == nil {
 		l.Stats.DataPathErrors++ // materialized insert must carry content
 		return
 	}
-	l.data.contents[idx] = append([]byte(nil), content...)
+	buf := l.data.contents[idx]
+	if cap(buf) < len(content) {
+		buf = make([]byte, len(content))
+	}
+	buf = buf[:len(content)]
+	copy(buf, content)
+	l.data.contents[idx] = buf
+	l.data.hasContent[idx] = true
 	if l.partOf(way) != NVM {
 		return
 	}
@@ -68,8 +82,8 @@ func (l *LLC) rememberContent(set, way int, content []byte) {
 		l.Stats.DataPathErrors++
 		return
 	}
-	img := st
-	l.data.images[idx] = &img
+	l.data.images[idx] = st
+	l.data.hasImage[idx] = true
 }
 
 // contentAt returns the remembered contents of a slot (nil outside
@@ -78,7 +92,11 @@ func (l *LLC) contentAt(set, way int) []byte {
 	if l.data == nil {
 		return nil
 	}
-	return l.data.contents[l.slot(set, way)]
+	idx := l.slot(set, way)
+	if !l.data.hasContent[idx] {
+		return nil
+	}
+	return l.data.contents[idx]
 }
 
 // clearMaterialized drops side state for a vacated slot.
@@ -87,8 +105,8 @@ func (l *LLC) clearMaterialized(set, way int) {
 		return
 	}
 	idx := l.slot(set, way)
-	l.data.images[idx] = nil
-	l.data.contents[idx] = nil
+	l.data.hasImage[idx] = false
+	l.data.hasContent[idx] = false
 }
 
 // verifyMaterialized runs the read data path for an NVM hit and compares
@@ -100,14 +118,12 @@ func (l *LLC) verifyMaterialized(set, way int) {
 		return
 	}
 	idx := l.slot(set, way)
-	img := l.data.images[idx]
-	want := l.data.contents[idx]
-	if img == nil || want == nil {
+	if !l.data.hasImage[idx] || !l.data.hasContent[idx] {
 		l.Stats.DataPathErrors++
 		return
 	}
-	got, _, err := l.data.path.ReadBlock(*img)
-	if err != nil || !bytes.Equal(got, want) {
+	got, _, err := l.data.path.ReadBlock(l.data.images[idx])
+	if err != nil || !bytes.Equal(got, l.data.contents[idx]) {
 		l.Stats.DataPathErrors++
 	}
 }
@@ -125,12 +141,11 @@ func (l *LLC) VerifyAllResident() error {
 				continue
 			}
 			idx := l.slot(set, w)
-			img := l.data.images[idx]
-			want := l.data.contents[idx]
-			if img == nil || want == nil {
+			if !l.data.hasImage[idx] || !l.data.hasContent[idx] {
 				return fmt.Errorf("hybrid: block %#x missing materialized state", e.block)
 			}
-			got, _, err := l.data.path.ReadBlock(*img)
+			want := l.data.contents[idx]
+			got, _, err := l.data.path.ReadBlock(l.data.images[idx])
 			if err != nil {
 				return fmt.Errorf("hybrid: block %#x read path: %v", e.block, err)
 			}

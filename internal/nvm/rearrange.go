@@ -75,11 +75,21 @@ func Scatter(ecb []byte, fm FaultMap, counter int) (recb [FrameBytes]byte, mask 
 
 // Gather reconstructs the contiguous ECB from a scattered RECB (Fig. 5d).
 func Gather(recb [FrameBytes]byte, fm FaultMap, counter, ecbLen int) ([]byte, error) {
+	return GatherInto(nil, recb, fm, counter, ecbLen)
+}
+
+// GatherInto gathers like Gather but writes the ECB into dst when its
+// capacity suffices (allocating otherwise), so steady-state reads perform
+// zero allocations. The returned slice aliases dst's storage when reused.
+func GatherInto(dst []byte, recb [FrameBytes]byte, fm FaultMap, counter, ecbLen int) ([]byte, error) {
 	iv, err := BuildIndexVector(fm, counter, ecbLen)
 	if err != nil {
 		return nil, err
 	}
-	ecb := make([]byte, ecbLen)
+	if cap(dst) < ecbLen {
+		dst = make([]byte, ecbLen)
+	}
+	ecb := dst[:ecbLen]
 	for pos, k := range iv {
 		if k >= 0 {
 			ecb[k] = recb[pos]

@@ -18,6 +18,10 @@ type ContentModel interface {
 	Owns(block uint64) bool
 	BumpVersion(block uint64)
 	Content(block uint64) []byte
+	// ContentInto is the allocation-free variant: it writes the contents
+	// into dst when its capacity suffices and returns the (possibly grown)
+	// slice.
+	ContentInto(dst []byte, block uint64) []byte
 }
 
 // NewProgram pairs a replayer with a content model.
@@ -36,6 +40,11 @@ func (p *Program) BumpVersion(block uint64) { p.content.BumpVersion(block) }
 
 // Content implements hier.Program.
 func (p *Program) Content(block uint64) []byte { return p.content.Content(block) }
+
+// ContentInto implements hier.Program without allocating.
+func (p *Program) ContentInto(dst []byte, block uint64) []byte {
+	return p.content.ContentInto(dst, block)
+}
 
 // Err surfaces the replayer's sticky replay error (nil while healthy).
 func (p *Program) Err() error { return p.rep.Err() }

@@ -118,11 +118,18 @@ func (a *App) ClassOf(block uint64) Class {
 
 // Content returns the current 64-byte contents of a block.
 func (a *App) Content(block uint64) []byte {
+	return a.ContentInto(nil, block)
+}
+
+// ContentInto writes the block's current 64-byte contents into dst (grown
+// only when its capacity is below 64), performing zero allocations when
+// dst is adequate. The returned slice aliases dst's storage.
+func (a *App) ContentInto(dst []byte, block uint64) []byte {
 	if !a.Owns(block) {
 		panic(fmt.Sprintf("workload: block %#x not owned by %s", block, a.prof.Name))
 	}
 	local := block - a.base
-	return GenContent(classOf(&a.prof, a.seed, local), a.seed, local, a.versions[local])
+	return GenContentInto(dst, classOf(&a.prof, a.seed, local), a.seed, local, a.versions[local])
 }
 
 // AppSpacing is the address-space stride between apps in block units;
