@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check ci fuzz-smoke faultstudy bench bench-go bench-figures validate experiments clean
+.PHONY: all build test vet fmt-check ci race-shard shard-smoke fuzz-smoke faultstudy bench bench-parallel bench-go bench-figures validate experiments clean
 
 all: build vet test
 
@@ -24,9 +24,22 @@ fmt-check:
 # Mirrors .github/workflows/ci.yml so the same gate runs locally.
 ci: fmt-check vet build
 	$(GO) test -race ./...
+	$(MAKE) race-shard
+	$(MAKE) shard-smoke
 	$(MAKE) fuzz-smoke
 	$(GO) run ./cmd/faultstudy -quick
 	$(MAKE) bench
+	$(MAKE) bench-parallel
+
+# Dedicated race gate for the concurrent engine and the packages it
+# drives: -count=2 reruns defeat one-shot schedule luck.
+race-shard:
+	$(GO) test -race -count=2 ./internal/shard ./internal/hybrid ./internal/hier
+
+# Shard-equivalence smoke: the differential matrix proving shards=N is
+# bit-identical to shards=1, under the race detector.
+shard-smoke:
+	$(GO) test -race -run 'TestShardEquivalence|TestShardForecastEquivalence' ./internal/shard
 
 # Ten seconds of coverage-guided fuzzing per target, on top of the
 # checked-in corpora (which always replay as part of go test).
@@ -43,6 +56,13 @@ faultstudy:
 # artifact; compare two runs by diffing the files.
 bench:
 	$(GO) run ./cmd/bench -quick -mixes 1,4 -policies BH,CA,CP_SD,TAP -out BENCH_hotpath.json
+
+# Set-sharded engine scaling curve (wall-clock vs shard count, with the
+# built-in fault-digest equivalence check). Shard counts are explicit so
+# the artifact always carries the 4-shard row; actual speedup depends on
+# the cores the machine grants.
+bench-parallel:
+	$(GO) run ./cmd/bench -parallel -quick -shards 1,2,4 -measure 2000000 -out BENCH_parallel.json
 
 # Full go-test benchmark suite: one benchmark per paper table/figure,
 # plus the ablation/extension benches and the substrate microbenchmarks.
@@ -73,4 +93,4 @@ experiments:
 	$(GO) run ./cmd/energy     -mixes 1,4,6,8           > results/energy.txt
 
 clean:
-	rm -f test_output.txt bench_output.txt BENCH_hotpath.json
+	rm -f test_output.txt bench_output.txt BENCH_hotpath.json BENCH_parallel.json

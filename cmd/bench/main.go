@@ -8,6 +8,13 @@
 //	bench -quick                               # CI baseline, writes BENCH_hotpath.json
 //	bench -quick -mixes 1,2 -policies BH,CP_SD # a smaller cross
 //	bench -cpuprofile cpu.out -memprofile mem.out -quick
+//
+// With -parallel it instead measures the set-sharded engine's wall-clock
+// scaling curve (1..GOMAXPROCS shards, same simulation at every count,
+// fault-digest equivalence checked) and writes BENCH_parallel.json:
+//
+//	bench -parallel -quick
+//	bench -parallel -shards 1,2,4,8 -out BENCH_parallel.json
 package main
 
 import (
@@ -31,21 +38,14 @@ func main() {
 	warmup := flag.Uint64("warmup", 0, "warm-up cycles (0 = preset default)")
 	measure := flag.Uint64("measure", 0, "measured cycles (0 = preset default)")
 	seed := flag.Uint64("seed", 1, "workload and endurance seed")
-	out := flag.String("out", "BENCH_hotpath.json", "JSON report path (empty disables)")
+	parallel := flag.Bool("parallel", false, "bench the set-sharded engine's scaling curve instead of the hot path")
+	shardsArg := flag.String("shards", "", "comma-separated shard counts for -parallel (default 1..GOMAXPROCS)")
+	out := flag.String("out", "", `JSON report path ("" selects BENCH_hotpath.json, or BENCH_parallel.json with -parallel; "none" disables)`)
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile after the sweep")
 	csvOut := flag.Bool("csv", false, "emit CSV on stdout")
 	jsonOut := flag.Bool("json", false, "emit JSON on stdout")
 	flag.Parse()
-
-	mixList, err := cliutil.ParseMixes(*mixes)
-	if err != nil {
-		fatal(err)
-	}
-	polList, err := parsePolicies(*policies)
-	if err != nil {
-		fatal(err)
-	}
 
 	cfg := core.DefaultConfig()
 	w, m := uint64(2_000_000), uint64(2_000_000)
@@ -60,13 +60,6 @@ func main() {
 		m = *measure
 	}
 	cfg.Seed = *seed
-	opt := experiments.HotPathOptions{
-		Base:     cfg,
-		Mixes:    mixList,
-		Policies: polList,
-		Warmup:   w,
-		Measure:  m,
-	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -80,11 +73,69 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	rows, results, err := experiments.HotPathBench(opt)
-	if err != nil {
-		fatal(err)
+	var rep *report.Report
+	var results []cliutil.TaskResult
+	var equivErr error
+	defaultOut := "BENCH_hotpath.json"
+	if *parallel {
+		defaultOut = "BENCH_parallel.json"
+		var shardList []int
+		if *shardsArg != "" {
+			var err error
+			if shardList, err = cliutil.ParseInts(*shardsArg); err != nil {
+				fatal(err)
+			}
+		}
+		// The scaling curve measures one policy; honor an explicit
+		// single-policy -policies selection, keep the config default
+		// (the paper's CP_SD) otherwise.
+		if *policies != "all" {
+			polList, err := parsePolicies(*policies)
+			if err != nil {
+				fatal(err)
+			}
+			if len(polList) != 1 {
+				fatal(fmt.Errorf("-parallel measures a single policy, got %v", polList))
+			}
+			cfg.PolicyName = polList[0]
+		}
+		opt := experiments.ScalingOptions{
+			Base:    cfg,
+			Shards:  shardList,
+			Warmup:  w,
+			Measure: m,
+		}
+		rows, err := experiments.ParallelScalingBench(opt)
+		if err != nil {
+			fatal(err)
+		}
+		rep = experiments.ParallelScalingReport(opt, rows)
+		if !experiments.ScalingEquivalent(rows) {
+			equivErr = fmt.Errorf("fault digests diverge across shard counts — see the report")
+		}
+	} else {
+		mixList, err := cliutil.ParseMixes(*mixes)
+		if err != nil {
+			fatal(err)
+		}
+		polList, err := parsePolicies(*policies)
+		if err != nil {
+			fatal(err)
+		}
+		opt := experiments.HotPathOptions{
+			Base:     cfg,
+			Mixes:    mixList,
+			Policies: polList,
+			Warmup:   w,
+			Measure:  m,
+		}
+		var rows []experiments.HotPathRow
+		rows, results, err = experiments.HotPathBench(opt)
+		if err != nil {
+			fatal(err)
+		}
+		rep = experiments.HotPathReport(opt, rows, results)
 	}
-	rep := experiments.HotPathReport(opt, rows, results)
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -98,8 +149,12 @@ func main() {
 		f.Close()
 	}
 
-	if *out != "" {
-		f, err := os.Create(*out)
+	path := *out
+	if path == "" {
+		path = defaultOut
+	}
+	if path != "none" {
+		f, err := os.Create(path)
 		if err != nil {
 			fatal(err)
 		}
@@ -109,13 +164,16 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *out)
+		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", path)
 	}
 	if err := rep.Write(os.Stdout, report.FormatOf(*jsonOut, *csvOut)); err != nil {
 		fatal(err)
 	}
 	if err := cliutil.ErrOf(results); err != nil {
 		fatal(err)
+	}
+	if equivErr != nil {
+		fatal(equivErr)
 	}
 }
 

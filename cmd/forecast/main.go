@@ -45,6 +45,7 @@ func main() {
 	warm := flag.Uint64("warmup", 2_000_000, "warm-up cycles per phase")
 	step := flag.Float64("step", 0.025, "capacity drop per prediction phase")
 	rotate := flag.Bool("rotate", false, "enable Start-Gap-style inter-set wear leveling")
+	shards := flag.Int("shards", 1, "set shards; >1 forecasts on the parallel engine (bit-identical for any count)")
 	csvOut := flag.Bool("csv", false, "emit CSV")
 	jsonOut := flag.Bool("json", false, "emit JSON")
 	flag.Parse()
@@ -56,6 +57,10 @@ func main() {
 	cfg.NVMLatencyFactor = *nvmlat
 	cfg.Scale = *scale
 	cfg.LLCSets = *sets
+	cfg.Shards = *shards
+	if cfg.Shards > 1 && *rotate {
+		fatal(fmt.Errorf("-rotate moves blocks across shard boundaries; run inter-set rotation with -shards 1"))
+	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/hier"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
@@ -48,6 +49,7 @@ func main() {
 	prefetch := flag.Bool("prefetch", false, "enable the L2 stride prefetcher")
 	rrip := flag.Bool("rrip", false, "use fit-RRIP NVM replacement instead of fit-LRU")
 	checkEvery := flag.Uint64("checkevery", 0, "run the invariant checker every N LLC accesses (0 disables)")
+	shards := flag.Int("shards", 1, "set shards; >1 runs the parallel engine (bit-identical for any count)")
 	flag.Parse()
 
 	cfg.PolicyName = *policyName
@@ -65,18 +67,45 @@ func main() {
 	cfg.EnablePrefetcher = *prefetch
 	cfg.NVMRRIP = *rrip
 	cfg.CheckEvery = *checkEvery
+	cfg.Shards = *shards
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
 
-	sys, err := cfg.Build()
-	if err != nil {
-		fatal(err)
+	// -shards >1 drives the same scenario through the set-sharded
+	// parallel engine; the summary, metrics and epoch series come out of
+	// the engine's merged registry instead of the sequential system's.
+	var sys *hier.System
+	var s core.Summary
+	var cpthWinner = -1
+	if cfg.Shards > 1 {
+		e, err := cfg.BuildEngine()
+		if err != nil {
+			fatal(err)
+		}
+		defer e.Close()
+		if *capacity < 1 {
+			core.PreAgeEngine(e, *capacity)
+		}
+		s = core.MeasureEngine(e, *warmup, *measure)
+		if d, ok := e.Dueling(); ok {
+			cpthWinner = d.Winner()
+		}
+		sys = e.System()
+	} else {
+		seq, err := cfg.Build()
+		if err != nil {
+			fatal(err)
+		}
+		if *capacity < 1 {
+			core.PreAge(seq, *capacity)
+		}
+		s = core.Measure(seq, *warmup, *measure)
+		if d, ok := core.Dueling(seq); ok {
+			cpthWinner = d.Winner()
+		}
+		sys = seq
 	}
-	if *capacity < 1 {
-		core.PreAge(sys, *capacity)
-	}
-	s := core.Measure(sys, *warmup, *measure)
 
 	rep := report.NewReport(fmt.Sprintf("hybridsim: %s mix %d", s.Policy, *mix))
 	rep.AddField("policy", s.Policy)
@@ -93,8 +122,11 @@ func main() {
 	rep.AddField("nvm_bytes_written", s.NVMBytesWritten)
 	rep.AddField("nvm_bytes_si", stats.FormatSI(float64(s.NVMBytesWritten)))
 	rep.AddField("nvm_capacity", s.Capacity)
-	if d, ok := core.Dueling(sys); ok {
-		rep.AddField("cpth_winner", d.Winner())
+	if cfg.Shards > 1 {
+		rep.AddField("shards", cfg.Shards)
+	}
+	if cpthWinner >= 0 {
+		rep.AddField("cpth_winner", cpthWinner)
 	}
 	if *allMetrics {
 		rep.AddTable(report.SnapshotTable("window metrics", s.Metrics))

@@ -30,3 +30,20 @@ func ParseMixes(arg string) ([]int, error) {
 	}
 	return out, nil
 }
+
+// ParseInts converts a comma-separated list of positive integers (e.g. a
+// -shards selector) into a slice.
+func ParseInts(arg string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(arg, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad count %q (want a positive integer)", tok)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

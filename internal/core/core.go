@@ -85,6 +85,15 @@ type Config struct {
 	// registry agreement) runs every CheckEvery LLC accesses. Violations
 	// accumulate on the checker, reachable via hier.System.AccessProbe.
 	CheckEvery uint64
+
+	// Shards selects the set-sharded parallel engine (internal/shard):
+	// the LLC's sets are split into this many contiguous shards applied
+	// by worker goroutines, bit-identical to Shards=1 by construction.
+	// 0 or 1 builds the engine single-sharded (inline, no goroutines).
+	// Only BuildEngine, MeasureEngine and BuildForecastTarget honor it;
+	// Build always constructs the classic sequential system. Shards > 1
+	// is incompatible with EnablePrefetcher and CheckEvery.
+	Shards int
 }
 
 // DefaultConfig returns the scaled default system: 1 MB 16-way LLC

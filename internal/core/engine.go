@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/forecast"
+	"repro/internal/hier"
+	"repro/internal/hybrid"
+	"repro/internal/nvm"
+	"repro/internal/shard"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// BuildEngine constructs the set-sharded parallel engine described by the
+// config (Config.Shards shards; 0 means 1). Every shard clone is built
+// through the same policy and LLC constructors as Build, each with a
+// fresh, identically seeded endurance sampler, so the clones' endurance
+// draws — and therefore the engine's output — are bit-identical for every
+// shard count. Callers must Close the engine when done.
+func (c Config) BuildEngine() (*shard.Engine, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	shards := c.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	apps, err := workload.NewMix(c.MixID, c.Seed, c.Scale)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the policy once up front to surface errors before the
+	// builder closure (which cannot fail) runs.
+	if _, _, _, _, err := c.buildPolicy(); err != nil {
+		return nil, err
+	}
+	newLLC := func(int) *hybrid.LLC {
+		pol, thr, sram, nvmW, err := c.buildPolicy()
+		if err != nil {
+			return nil
+		}
+		return hybrid.New(hybrid.Config{
+			Sets:             c.LLCSets,
+			SRAMWays:         sram,
+			NVMWays:          nvmW,
+			Policy:           pol,
+			Thresholds:       thr,
+			Endurance:        nvm.EnduranceModel{Mean: c.EnduranceMean, CV: c.EnduranceCV},
+			Sampler:          stats.NewRNG(c.Seed ^ 0xE7D5),
+			HCROnly:          c.AblationHCROnly,
+			NoGetXInvalidate: c.AblationNoInvalidate,
+			MaterializeData:  c.MaterializeData,
+			NVMReplacement:   replacementOf(c.NVMRRIP),
+		})
+	}
+	// One more buildPolicy call yields the global threshold provider the
+	// epoch barrier merges shard votes into (a fresh dueling controller
+	// for dueling policies, a FixedThreshold or nil otherwise).
+	_, global, _, _, err := c.buildPolicy()
+	if err != nil {
+		return nil, err
+	}
+	hcfg := hier.Config{
+		L1Sets: c.L1Sets, L1Ways: c.L1Ways,
+		L2Sets: c.L2SizeKB * 1024 / (c.L2Ways * 64), L2Ways: c.L2Ways,
+		EpochCycles: c.EpochCycles,
+		IssueWidth:  4,
+		Lat:         c.Latencies(),
+		Banks:       c.LLCBanks,
+	}
+	return shard.New(shard.Config{
+		Shards: shards,
+		Sets:   c.LLCSets,
+		Hier:   hcfg,
+		NewLLC: newLLC,
+		Global: global,
+		Apps:   apps,
+	})
+}
+
+// MeasureEngine warms the engine up and measures a window (the engine
+// counterpart of Measure).
+func MeasureEngine(e *shard.Engine, warmupCycles, measureCycles uint64) Summary {
+	e.Run(warmupCycles)
+	r := e.Run(measureCycles)
+	return Summary{
+		Policy:          e.PolicyName(),
+		MeanIPC:         r.MeanIPC,
+		HitRate:         r.LLC.HitRate(),
+		Hits:            r.LLC.Hits,
+		Misses:          r.LLC.Misses,
+		NVMBytesWritten: r.LLC.NVMBytesWritten,
+		NVMBlockWrites:  r.LLC.NVMBlockWrites,
+		SRAMHits:        r.LLC.SRAMHits,
+		NVMHits:         r.LLC.NVMHits,
+		Inserts:         r.LLC.Inserts,
+		Migrations:      r.LLC.Migrations,
+		Capacity:        e.EffectiveCapacityFraction(),
+		Metrics:         r.Metrics,
+	}
+}
+
+// PreAgeEngine is PreAge for the sharded engine: it wears the owned
+// frames (in global set-major order, so the aging trajectory matches the
+// sequential engine's) to the target capacity and drops unfit entries.
+func PreAgeEngine(e *shard.Engine, targetCapacity float64) {
+	frames := e.Frames()
+	if frames == nil || targetCapacity >= 1 {
+		return
+	}
+	for _, f := range frames {
+		f.ResetPhase()
+		f.RecordWrite(nvm.FrameBytes) // uniform unit rate
+	}
+	forecast.AgeFrames(frames, 1.0, targetCapacity, math.MaxFloat64)
+	e.ResetPhase()
+	e.InvalidateUnfit()
+}
+
+// BuildForecastTarget builds the forecast target the config selects:
+// the classic sequential hierarchy for Shards <= 1, the sharded engine
+// otherwise. The returned closer releases the engine's worker goroutines
+// (a no-op for the sequential path) and must be called after the
+// forecast completes.
+func (c Config) BuildForecastTarget() (forecast.Target, func(), error) {
+	if c.Shards <= 1 {
+		sys, err := c.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		return forecast.SystemTarget(sys), func() {}, nil
+	}
+	e, err := c.BuildEngine()
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.ForecastTarget(), e.Close, nil
+}

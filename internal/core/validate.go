@@ -68,6 +68,20 @@ func (c Config) Validate() error {
 	if c.LLCBanks < 0 {
 		bad("negative LLC bank count %d", c.LLCBanks)
 	}
+	if c.Shards < 0 {
+		bad("negative shard count %d", c.Shards)
+	}
+	if c.Shards > 1 {
+		if c.Shards > c.LLCSets {
+			bad("%d shards exceed %d LLC sets", c.Shards, c.LLCSets)
+		}
+		if c.EnablePrefetcher {
+			bad("%d shards incompatible with the L2 prefetcher (prefetch tags need sequential LLC answers)", c.Shards)
+		}
+		if c.CheckEvery > 0 {
+			bad("%d shards incompatible with CheckEvery (the invariant checker probes the sequential LLC)", c.Shards)
+		}
+	}
 	return errors.Join(errs...)
 }
 

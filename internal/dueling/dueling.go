@@ -193,6 +193,60 @@ func (c *Controller) EpochCounters() (hits, bytes []uint64) {
 	return append([]uint64(nil), c.hits...), append([]uint64(nil), c.bytes...)
 }
 
+// AddVotes folds external per-candidate vote counters into the open
+// epoch. Vote counts are plain sums, so accumulating shard-local sampler
+// counters this way and then calling EndEpoch selects exactly the winner
+// the sequential controller would have picked from the combined stream.
+func (c *Controller) AddVotes(hits, bytes []uint64) {
+	if len(hits) != len(c.candidates) || len(bytes) != len(c.candidates) {
+		panic(fmt.Sprintf("dueling: AddVotes arity %d/%d, want %d",
+			len(hits), len(bytes), len(c.candidates)))
+	}
+	for k := range c.hits {
+		c.hits[k] += hits[k]
+		c.bytes[k] += bytes[k]
+	}
+}
+
+// MergeFrom folds other's open-epoch counters into c and clears them from
+// other, without touching either controller's winner or History. The shard
+// engine's epoch barrier calls it once per shard, in ascending shard
+// order, before closing the global epoch.
+func (c *Controller) MergeFrom(other *Controller) {
+	if len(other.candidates) != len(c.candidates) {
+		panic("dueling: MergeFrom across different candidate lists")
+	}
+	for k := range c.hits {
+		c.hits[k] += other.hits[k]
+		c.bytes[k] += other.bytes[k]
+		other.hits[k] = 0
+		other.bytes[k] = 0
+	}
+}
+
+// AdoptWinner copies other's follower threshold choice into c without
+// recording an epoch. After the global controller closes an epoch, each
+// shard controller adopts its winner so follower sets everywhere use the
+// globally selected CPth — exactly what the sequential controller's
+// follower sets would see.
+func (c *Controller) AdoptWinner(other *Controller) {
+	if len(other.candidates) != len(c.candidates) {
+		panic("dueling: AdoptWinner across different candidate lists")
+	}
+	c.winner = other.winner
+}
+
+// OpenVoteTotals sums the open epoch's hit and byte counters across all
+// candidates (the values behind the dueling.epoch_hits/epoch_bytes
+// gauges), without allocating.
+func (c *Controller) OpenVoteTotals() (hits, bytes uint64) {
+	for k := range c.hits {
+		hits += c.hits[k]
+		bytes += c.bytes[k]
+	}
+	return hits, bytes
+}
+
 // SamplerSets returns how many sets sample candidate k.
 func (c *Controller) SamplerSets(k int) int {
 	n := 0

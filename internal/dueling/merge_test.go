@@ -1,0 +1,162 @@
+package dueling
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The shard engine's epoch barrier folds per-shard sampler votes into one
+// global controller (MergeFrom), closes the epoch there, and distributes
+// the winner back (AdoptWinner). These tables pin the reduction against
+// the sequential reference: a single controller fed the combined votes
+// must pick the same winner, under the plain max-hits rule, its
+// tie-breaking order, and the Th/Tw trade-off rule.
+
+// splitVotes deals per-candidate totals across n shard-local vote vectors
+// round-robin, so every shard sees a different partial view.
+func splitVotes(total []uint64, n int) [][]uint64 {
+	parts := make([][]uint64, n)
+	for i := range parts {
+		parts[i] = make([]uint64, len(total))
+	}
+	for c, t := range total {
+		for i := uint64(0); i < t; i++ {
+			parts[i%uint64(n)][c]++
+		}
+	}
+	return parts
+}
+
+func TestMergeFromMatchesSequential(t *testing.T) {
+	cands := []int{30, 40, 50, 64}
+	cases := []struct {
+		name       string
+		th, tw     float64
+		hits       []uint64
+		bytes      []uint64
+		wantWinner int // expected CPth after EndEpoch
+	}{
+		{
+			name: "plain max hits",
+			hits: []uint64{5, 17, 9, 3}, bytes: []uint64{100, 100, 100, 100},
+			wantWinner: 40,
+		},
+		{
+			name: "plain tie breaks to lowest index",
+			hits: []uint64{7, 12, 12, 4}, bytes: []uint64{0, 0, 0, 0},
+			wantWinner: 40,
+		},
+		{
+			name: "all zero votes keep candidate 0",
+			hits: []uint64{0, 0, 0, 0}, bytes: []uint64{0, 0, 0, 0},
+			wantWinner: 30,
+		},
+		{
+			name: "Th rule trades hits for byte reduction",
+			th:   10, tw: 20,
+			// Best hits: candidate 2 (100 hits, 1000 bytes). Candidate 0
+			// keeps 95 > 90 hits and writes 500 < 800 bytes -> smallest
+			// qualifying CPth wins.
+			hits: []uint64{95, 80, 100, 60}, bytes: []uint64{500, 900, 1000, 400},
+			wantWinner: 30,
+		},
+		{
+			name: "Th rule falls back to plain winner",
+			th:   4, tw: 5,
+			// No candidate keeps 96% of the best hits while cutting
+			// bytes by 5%, so the plain winner stands.
+			hits: []uint64{50, 60, 100, 70}, bytes: []uint64{990, 980, 1000, 995},
+			wantWinner: 50,
+		},
+	}
+	for _, tc := range cases {
+		for _, shards := range []int{1, 2, 3, 5} {
+			// Sequential reference: one controller sees all votes.
+			seq := NewWithCandidates(64, cands, tc.th, tc.tw)
+			seq.AddVotes(tc.hits, tc.bytes)
+			seq.EndEpoch()
+
+			// Sharded: votes split across shard controllers, merged at
+			// the barrier in ascending shard order.
+			global := NewWithCandidates(64, cands, tc.th, tc.tw)
+			locals := make([]*Controller, shards)
+			hParts := splitVotes(tc.hits, shards)
+			bParts := splitVotes(tc.bytes, shards)
+			for i := range locals {
+				locals[i] = NewWithCandidates(64, cands, tc.th, tc.tw)
+				locals[i].AddVotes(hParts[i], bParts[i])
+			}
+			for _, l := range locals {
+				global.MergeFrom(l)
+			}
+			global.EndEpoch()
+			for _, l := range locals {
+				l.AdoptWinner(global)
+			}
+
+			if got := global.Winner(); got != tc.wantWinner {
+				t.Errorf("%s/%d shards: merged winner %d, want %d", tc.name, shards, got, tc.wantWinner)
+			}
+			if got, want := global.Winner(), seq.Winner(); got != want {
+				t.Errorf("%s/%d shards: merged winner %d != sequential %d", tc.name, shards, got, want)
+			}
+			if !reflect.DeepEqual(global.History, seq.History) {
+				t.Errorf("%s/%d shards: history %v != sequential %v", tc.name, shards, global.History, seq.History)
+			}
+			for i, l := range locals {
+				// Follower sets of every shard must use the adopted global
+				// winner; set 63 is a follower (beyond the candidate groups).
+				if got, want := l.CPthFor(63), seq.CPthFor(63); got != want {
+					t.Errorf("%s/%d shards: shard %d follower CPth %d, want %d", tc.name, shards, i, got, want)
+				}
+				// MergeFrom must have drained the shard's open counters.
+				if h, b := l.OpenVoteTotals(); h != 0 || b != 0 {
+					t.Errorf("%s/%d shards: shard %d retains open votes (%d hits, %d bytes)", tc.name, shards, i, h, b)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeFromAccumulatesAcrossCalls pins that merging is additive: two
+// merges from the same shard controller between epochs behave like one
+// combined vote stream, and the open totals reflect the running sum.
+func TestMergeFromAccumulatesAcrossCalls(t *testing.T) {
+	cands := []int{30, 64}
+	global := NewWithCandidates(64, cands, 0, 0)
+	local := NewWithCandidates(64, cands, 0, 0)
+
+	local.AddVotes([]uint64{3, 1}, []uint64{10, 20})
+	global.MergeFrom(local)
+	local.AddVotes([]uint64{1, 9}, []uint64{5, 5})
+	global.MergeFrom(local)
+
+	h, b := global.OpenVoteTotals()
+	if h != 14 || b != 40 {
+		t.Fatalf("open totals (%d, %d), want (14, 40)", h, b)
+	}
+	global.EndEpoch()
+	if got := global.Winner(); got != 64 {
+		t.Fatalf("winner %d, want 64 (9+1 > 3+1 hits)", got)
+	}
+}
+
+func TestAddVotesArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddVotes accepted mismatched vote vector lengths")
+		}
+	}()
+	NewWithCandidates(64, []int{30, 64}, 0, 0).AddVotes([]uint64{1}, []uint64{1})
+}
+
+func TestMergeFromGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MergeFrom accepted a controller with a different candidate list")
+		}
+	}()
+	a := NewWithCandidates(64, []int{30, 64}, 0, 0)
+	b := NewWithCandidates(64, []int{30, 40, 64}, 0, 0)
+	a.MergeFrom(b)
+}

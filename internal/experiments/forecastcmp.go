@@ -102,7 +102,8 @@ type PolicyForecast struct {
 // The (spec, mix) simulations are independent and run in parallel on the
 // hardened pool: a failed cell is excluded from its policy's aggregates
 // and reported in the returned task records instead of aborting the
-// whole comparison.
+// whole comparison. When base.Shards > 1 each cell runs on the
+// set-sharded engine (bit-identical output for every shard count).
 func ForecastComparison(base core.Config, specs []ForecastSpec, mixes []int, fcfg forecast.Config) ([]PolicyForecast, []cliutil.TaskResult, error) {
 	results := make([]forecast.Result, len(specs)*len(mixes))
 	tasks := make([]cliutil.Task, len(results))
@@ -114,11 +115,12 @@ func ForecastComparison(base core.Config, specs []ForecastSpec, mixes []int, fcf
 			cfg := base
 			cfg.MixID = m
 			spec.Mutate(&cfg)
-			sys, err := cfg.Build()
+			target, done, err := cfg.BuildForecastTarget()
 			if err != nil {
 				return err
 			}
-			results[i] = forecast.Run(sys, fcfg)
+			defer done()
+			results[i] = forecast.RunTarget(target, fcfg)
 			return nil
 		}}
 	}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// ScalingOptions configures the parallel-engine scaling bench: one
+// fixed workload/policy measured through the set-sharded engine at a
+// series of shard counts. Runs execute strictly sequentially (never on
+// the task pool) so each wall-clock sample has the whole machine.
+type ScalingOptions struct {
+	Base    core.Config // Shards is overridden per row
+	Shards  []int       // defaults to DefaultShardCounts()
+	Warmup  uint64      // cycles before the timed window
+	Measure uint64      // timed cycles
+}
+
+// DefaultShardCounts returns the shard counts of the scaling curve:
+// 1..GOMAXPROCS, thinned to {1, 2, 3, 4, 6, 8, ...} so the curve stays
+// readable on many-core machines while always containing the paper
+// point of interest (4 shards) when the machine has the cores for it.
+func DefaultShardCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	var out []int
+	for _, n := range []int{1, 2, 3, 4, 6, 8, 12, 16} {
+		if n <= max {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+// ScalingRow is one shard-count measurement. FaultDigest is the engine's
+// end-of-run NVM fault/wear fingerprint: every row of a correct curve
+// carries the same digest — it is the bench's built-in equivalence
+// witness, checked by ScalingEquivalent and asserted in CI.
+type ScalingRow struct {
+	Shards      int
+	Accesses    uint64
+	WallNs      int64
+	NsPerAccess float64
+	Speedup     float64 // wall time of the shards=1 row over this row's
+	MeanIPC     float64
+	HitRate     float64
+	FaultDigest string // %016x fingerprint, identical across rows
+}
+
+// ParallelScalingBench measures the sharded engine's wall-clock scaling
+// curve. The first row is always shards=1 (prepended when absent) so
+// every speedup has its in-run baseline.
+func ParallelScalingBench(opt ScalingOptions) ([]ScalingRow, error) {
+	shards := opt.Shards
+	if len(shards) == 0 {
+		shards = DefaultShardCounts()
+	}
+	if shards[0] != 1 {
+		shards = append([]int{1}, shards...)
+	}
+	if opt.Measure == 0 {
+		return nil, fmt.Errorf("experiments: scaling bench needs a measure window")
+	}
+	rows := make([]ScalingRow, 0, len(shards))
+	var baseWall int64
+	for _, n := range shards {
+		cfg := opt.Base
+		cfg.Shards = n
+		e, err := cfg.BuildEngine()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: shards=%d: %w", n, err)
+		}
+		e.Run(opt.Warmup)
+		start := time.Now()
+		r := e.Run(opt.Measure)
+		e.Sync()
+		wall := time.Since(start).Nanoseconds()
+		digest := e.FaultDigest()
+		e.Close()
+
+		accesses := r.LLC.GetS + r.LLC.GetX
+		row := ScalingRow{
+			Shards:      n,
+			Accesses:    accesses,
+			WallNs:      wall,
+			MeanIPC:     r.MeanIPC,
+			HitRate:     r.LLC.HitRate(),
+			FaultDigest: fmt.Sprintf("%016x", digest),
+		}
+		if accesses > 0 {
+			row.NsPerAccess = float64(wall) / float64(accesses)
+		}
+		if n == 1 {
+			baseWall = wall
+		}
+		if baseWall > 0 && wall > 0 {
+			row.Speedup = float64(baseWall) / float64(wall)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ScalingEquivalent reports whether every row carries the same fault
+// digest — i.e. whether all shard counts computed the same simulation.
+func ScalingEquivalent(rows []ScalingRow) bool {
+	for _, r := range rows[1:] {
+		if r.FaultDigest != rows[0].FaultDigest {
+			return false
+		}
+	}
+	return len(rows) > 0
+}
+
+// ParallelScalingReport renders the curve as BENCH_parallel.json's
+// report: run parameters, one table row per shard count, and the
+// equivalence verdict as a top-level field.
+func ParallelScalingReport(opt ScalingOptions, rows []ScalingRow) *report.Report {
+	rep := report.NewReport("set-sharded engine scaling curve")
+	rep.AddField("policy", opt.Base.PolicyName)
+	rep.AddField("mix", opt.Base.MixID+1)
+	rep.AddField("llc_sets", opt.Base.LLCSets)
+	rep.AddField("seed", opt.Base.Seed)
+	rep.AddField("warmup_cycles", opt.Warmup)
+	rep.AddField("measure_cycles", opt.Measure)
+	rep.AddField("go_version", runtime.Version())
+	rep.AddField("gomaxprocs", runtime.GOMAXPROCS(0))
+	rep.AddField("digests_equivalent", ScalingEquivalent(rows))
+	tab := report.New("parallel",
+		"shards", "accesses", "wall_ns", "ns_per_access",
+		"speedup", "mean_ipc", "hit_rate", "fault_digest")
+	for _, r := range rows {
+		tab.AddRow(r.Shards, report.FormatCount(r.Accesses), r.WallNs,
+			r.NsPerAccess, r.Speedup, r.MeanIPC, r.HitRate, r.FaultDigest)
+	}
+	rep.AddTable(tab)
+	return rep
+}

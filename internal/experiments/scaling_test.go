@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParallelScalingBench(t *testing.T) {
+	cfg := core.QuickConfig()
+	cfg.EnduranceMean = 60_000 // faults happen, so digests compare real wear
+	opt := ScalingOptions{
+		Base:    cfg,
+		Shards:  []int{2, 4}, // shards=1 baseline is prepended automatically
+		Warmup:  100_000,
+		Measure: 300_000,
+	}
+	rows, err := ParallelScalingBench(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].Shards != 1 {
+		t.Fatalf("rows %+v, want shards=1 baseline prepended", rows)
+	}
+	if !ScalingEquivalent(rows) {
+		t.Fatalf("fault digests diverge across shard counts: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Accesses == 0 || r.WallNs <= 0 || r.NsPerAccess <= 0 || r.Speedup <= 0 {
+			t.Errorf("shards=%d: incomplete row %+v", r.Shards, r)
+		}
+		if r.Accesses != rows[0].Accesses {
+			t.Errorf("shards=%d: %d accesses, want %d (identical simulation)", r.Shards, r.Accesses, rows[0].Accesses)
+		}
+	}
+	rep := ParallelScalingReport(opt, rows)
+	var sb strings.Builder
+	if err := rep.Write(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digests_equivalent") {
+		t.Error("report lacks the equivalence verdict field")
+	}
+}

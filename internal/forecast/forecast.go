@@ -78,66 +78,139 @@ type Result struct {
 // LifetimeMonths converts the lifetime to months (+Inf preserved).
 func (r Result) LifetimeMonths() float64 { return r.LifetimeSeconds / SecondsPerMonth }
 
-// Run executes the forecast on a system until its LLC's NVM capacity
-// reaches cfg.TargetCapacity.
+// Window summarises one measured run window of a forecast target — the
+// subset of hier.RunStats the forecast loop consumes.
+type Window struct {
+	Cycles          uint64
+	MeanIPC         float64
+	HitRate         float64
+	NVMBytesWritten uint64
+}
+
+// Target abstracts the simulated system the forecast ages: the classic
+// sequential hierarchy (SystemTarget) or internal/shard's set-sharded
+// engine. Frames returns the NVM frames the forecast ages, in a stable
+// set-major order (nil for SRAM-only configurations); the order matters
+// because the aging heap breaks simultaneous-death ties by insertion
+// order, so identical frame orders give bit-identical trajectories.
+type Target interface {
+	// PolicyName labels the result.
+	PolicyName() string
+	// Run advances the simulation by the given cycles and summarises.
+	Run(cycles uint64) Window
+	// Frames returns the NVM frames in stable set-major order, or nil.
+	Frames() []*nvm.Frame
+	// ResetPhase clears the per-frame phase write counters.
+	ResetPhase()
+	// CapacityFraction is the NVM part's effective capacity (0..1).
+	CapacityFraction() float64
+	// LiveFrames counts frames that can still hold a block.
+	LiveFrames() int
+	// InvalidateUnfit drops LLC entries their aged frames can't hold.
+	InvalidateUnfit() int
+	// AdvanceWearCounter rotates the global wear-leveling counter.
+	AdvanceWearCounter(n int)
+	// RotateSets applies inter-set wear leveling (Config.InterSetRotation).
+	RotateSets(n int) int
+}
+
+// sysTarget adapts *hier.System to Target.
+type sysTarget struct{ sys *hier.System }
+
+// SystemTarget wraps the sequential hierarchy as a forecast target.
+func SystemTarget(sys *hier.System) Target { return sysTarget{sys} }
+
+func (t sysTarget) PolicyName() string { return t.sys.LLC().Policy().Name() }
+
+func (t sysTarget) Run(cycles uint64) Window {
+	st := t.sys.Run(cycles)
+	return Window{
+		Cycles:          st.Cycles,
+		MeanIPC:         st.MeanIPC,
+		HitRate:         st.LLC.HitRate(),
+		NVMBytesWritten: st.LLC.NVMBytesWritten,
+	}
+}
+
+func (t sysTarget) Frames() []*nvm.Frame {
+	if arr := t.sys.LLC().Array(); arr != nil {
+		return arr.Frames()
+	}
+	return nil
+}
+
+func (t sysTarget) ResetPhase()               { t.sys.LLC().Array().ResetPhase() }
+func (t sysTarget) CapacityFraction() float64 { return t.sys.LLC().Array().EffectiveCapacityFraction() }
+func (t sysTarget) LiveFrames() int           { return t.sys.LLC().Array().LiveFrames() }
+func (t sysTarget) InvalidateUnfit() int      { return t.sys.LLC().InvalidateUnfit() }
+func (t sysTarget) AdvanceWearCounter(n int)  { t.sys.LLC().Array().Counter().Advance(n) }
+func (t sysTarget) RotateSets(n int) int      { return t.sys.LLC().RotateNVMSets(n) }
+
+// Run executes the forecast on a sequential system until its LLC's NVM
+// capacity reaches cfg.TargetCapacity.
 func Run(sys *hier.System, cfg Config) Result {
-	res := Result{Policy: sys.LLC().Policy().Name(), LifetimeSeconds: math.Inf(1)}
-	arr := sys.LLC().Array()
-	if arr == nil {
+	return RunTarget(SystemTarget(sys), cfg)
+}
+
+// RunTarget executes the forecast loop against any target.
+func RunTarget(t Target, cfg Config) Result {
+	res := Result{Policy: t.PolicyName(), LifetimeSeconds: math.Inf(1)}
+	frames := t.Frames()
+	if frames == nil {
 		// SRAM-only configuration: a single phase measures steady-state
 		// performance; there is nothing to age.
-		sys.Run(cfg.WarmupCycles)
-		st := sys.Run(cfg.PhaseCycles)
+		t.Run(cfg.WarmupCycles)
+		st := t.Run(cfg.PhaseCycles)
 		res.Points = append(res.Points, Point{
-			Capacity: 1, MeanIPC: st.MeanIPC, HitRate: st.LLC.HitRate(),
+			Capacity: 1, MeanIPC: st.MeanIPC, HitRate: st.HitRate,
 		})
 		return res
 	}
 
-	t := 0.0
+	elapsed := 0.0
 	dropped := 0
 	for phase := 0; phase < cfg.MaxPhases; phase++ {
-		sys.Run(cfg.WarmupCycles)
-		arr.ResetPhase()
-		st := sys.Run(cfg.PhaseCycles)
+		t.Run(cfg.WarmupCycles)
+		t.ResetPhase()
+		st := t.Run(cfg.PhaseCycles)
 		phaseSeconds := float64(st.Cycles) / cfg.ClockHz
-		cap := arr.EffectiveCapacityFraction()
+		cap := t.CapacityFraction()
 		res.Points = append(res.Points, Point{
-			TimeSeconds:    t,
+			TimeSeconds:    elapsed,
 			Capacity:       cap,
 			MeanIPC:        st.MeanIPC,
-			HitRate:        st.LLC.HitRate(),
-			NVMByteRate:    float64(st.LLC.NVMBytesWritten) / phaseSeconds,
-			LiveFrames:     arr.LiveFrames(),
+			HitRate:        st.HitRate,
+			NVMByteRate:    float64(st.NVMBytesWritten) / phaseSeconds,
+			LiveFrames:     t.LiveFrames(),
 			EntriesDropped: dropped,
 		})
 		if cap <= cfg.TargetCapacity {
-			res.LifetimeSeconds = t
+			res.LifetimeSeconds = elapsed
 			break
 		}
 		stop := cap - cfg.CapacityStep
 		if stop < cfg.TargetCapacity {
 			stop = cfg.TargetCapacity
 		}
-		dt, newCap := Age(arr, phaseSeconds, stop, cfg.MaxPredictSeconds)
-		t += dt
-		dropped = sys.LLC().InvalidateUnfit()
+		dt, newCap := AgeFrames(frames, phaseSeconds, stop, cfg.MaxPredictSeconds)
+		elapsed += dt
+		dropped = t.InvalidateUnfit()
 		// Rotate the global wear-leveling counter, as hardware does over
 		// long periods (§III-B1).
-		arr.Counter().Advance(7)
+		t.AdvanceWearCounter(7)
 		if cfg.InterSetRotation {
-			sys.LLC().RotateNVMSets(1)
+			t.RotateSets(1)
 		}
 		if newCap <= cfg.TargetCapacity {
-			res.LifetimeSeconds = t
+			res.LifetimeSeconds = elapsed
 			// One final measurement at the target capacity.
-			sys.Run(cfg.WarmupCycles)
-			arr.ResetPhase()
-			st := sys.Run(cfg.PhaseCycles)
+			t.Run(cfg.WarmupCycles)
+			t.ResetPhase()
+			st := t.Run(cfg.PhaseCycles)
 			res.Points = append(res.Points, Point{
-				TimeSeconds: t, Capacity: newCap, MeanIPC: st.MeanIPC,
-				HitRate:    st.LLC.HitRate(),
-				LiveFrames: arr.LiveFrames(), EntriesDropped: dropped,
+				TimeSeconds: elapsed, Capacity: newCap, MeanIPC: st.MeanIPC,
+				HitRate:    st.HitRate,
+				LiveFrames: t.LiveFrames(), EntriesDropped: dropped,
 			})
 			break
 		}
@@ -207,17 +280,24 @@ func (h *ageHeap) Pop() interface{} {
 	return x
 }
 
-// Age advances the array's wear analytically, assuming each frame keeps
-// receiving bytes at the rate observed over the last simulation phase
-// (PhaseWritten / phaseSeconds), until the array's effective capacity
-// fraction falls to stopCapacity or maxSeconds elapse. It returns the
-// elapsed time and the resulting capacity fraction.
+// Age advances the array's wear analytically; see AgeFrames.
+func Age(arr *nvm.Array, phaseSeconds, stopCapacity, maxSeconds float64) (elapsed, capacity float64) {
+	return AgeFrames(arr.Frames(), phaseSeconds, stopCapacity, maxSeconds)
+}
+
+// AgeFrames advances the frames' wear analytically, assuming each frame
+// keeps receiving bytes at the rate observed over the last simulation
+// phase (PhaseWritten / phaseSeconds), until their combined effective
+// capacity fraction falls to stopCapacity or maxSeconds elapse. It
+// returns the elapsed time and the resulting capacity fraction.
 //
 // The computation is exact: within a frame, wear accrues linearly at
 // rate/liveBytes and jumps discretely as bytes die; across frames, a
-// priority queue processes byte deaths in global time order.
-func Age(arr *nvm.Array, phaseSeconds, stopCapacity, maxSeconds float64) (elapsed, capacity float64) {
-	frames := arr.Frames()
+// priority queue processes byte deaths in global time order, breaking
+// simultaneous-death ties by the frames' slice order — so a fixed frame
+// order gives a bit-identical trajectory regardless of how the frames
+// are partitioned across shard arrays.
+func AgeFrames(frames []*nvm.Frame, phaseSeconds, stopCapacity, maxSeconds float64) (elapsed, capacity float64) {
 	agers := make([]frameAger, len(frames))
 	h := make(ageHeap, 0, len(frames))
 	totalUnits := float64(len(frames) * nvm.DataBytes)
@@ -259,5 +339,19 @@ func Age(arr *nvm.Array, phaseSeconds, stopCapacity, maxSeconds float64) (elapse
 	for i := range agers {
 		agers[i].advanceTo(T)
 	}
-	return T, arr.EffectiveCapacityFraction()
+	return T, capacityOfFrames(frames)
+}
+
+// capacityOfFrames is the effective capacity fraction of a frame slice,
+// computed exactly like nvm.Array.EffectiveCapacityFraction (integer sum,
+// one division — bit-identical however the frames are partitioned).
+func capacityOfFrames(frames []*nvm.Frame) float64 {
+	if len(frames) == 0 {
+		return 0
+	}
+	have := 0
+	for _, f := range frames {
+		have += f.EffectiveCapacity()
+	}
+	return float64(have) / float64(len(frames)*nvm.DataBytes)
 }

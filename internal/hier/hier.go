@@ -59,6 +59,13 @@ type Config struct {
 	// EpochRingCapacity bounds the per-epoch sample series the system
 	// retains (0 selects metrics.DefaultEpochRingCapacity).
 	EpochRingCapacity int
+
+	// Shards records how many set shards the LLC target is split into
+	// (internal/shard's engine plugs in a router target and sets this).
+	// The hierarchy front-end itself always runs single-threaded; the
+	// knob is carried here so System.Config reflects the execution mode.
+	// 0 or 1 means the classic sequential LLC.
+	Shards int
 }
 
 // DefaultConfig returns the scaled default configuration.
@@ -92,14 +99,67 @@ type Program interface {
 	ContentInto(dst []byte, block uint64) []byte
 }
 
+// Target is the LLC as seen by the hierarchy front-end: per-core access
+// fan-out plus the epoch and metrics plumbing the system needs. The
+// sequential engine wraps a *hybrid.LLC (LLCTarget); the set-sharded
+// engine of internal/shard plugs in a router that forwards each call to
+// the worker owning the block's set. The core index identifies the
+// requesting core so routed inserts can be matched with the fetch that
+// created the L2 line (two cores may hold the same block privately).
+type Target interface {
+	// GetS looks a block up with read intent on behalf of core.
+	GetS(core int, block uint64) hybrid.AccessResult
+	// GetX looks a block up with write intent on behalf of core.
+	GetX(core int, block uint64) hybrid.AccessResult
+	// Insert hands an L2 victim of core to the LLC.
+	Insert(core int, block uint64, dirty bool, tag hybrid.BlockTag, content []byte) hybrid.InsertOutcome
+	// CompressionEnabled reports whether inserts need block contents.
+	CompressionEnabled() bool
+	// Thresholds exposes the CPth provider (for epoch-series sampling).
+	Thresholds() hybrid.ThresholdProvider
+	// EndEpoch closes a set-dueling epoch. A sharded target must fully
+	// quiesce, merge sampler votes and distribute the winner before
+	// returning, so the epoch sample recorded next reads settled state.
+	EndEpoch()
+	// Metrics returns the registry carrying the target's llc.* (and
+	// related) counters; the system registers its own on top.
+	Metrics() *metrics.Registry
+	// Sync blocks until every access issued so far has fully executed.
+	// The system calls it before reading the registry outside an epoch
+	// boundary. Sequential targets need not do anything.
+	Sync()
+}
+
+// llcTarget adapts the sequential *hybrid.LLC to the Target interface.
+type llcTarget struct{ l *hybrid.LLC }
+
+// LLCTarget wraps a sequential LLC as a Target (the default engine).
+func LLCTarget(l *hybrid.LLC) Target { return llcTarget{l} }
+
+func (t llcTarget) GetS(_ int, block uint64) hybrid.AccessResult { return t.l.GetS(block) }
+func (t llcTarget) GetX(_ int, block uint64) hybrid.AccessResult { return t.l.GetX(block) }
+func (t llcTarget) Insert(_ int, block uint64, dirty bool, tag hybrid.BlockTag, content []byte) hybrid.InsertOutcome {
+	return t.l.Insert(block, dirty, tag, content)
+}
+func (t llcTarget) CompressionEnabled() bool             { return t.l.CompressionEnabled() }
+func (t llcTarget) Thresholds() hybrid.ThresholdProvider { return t.l.Thresholds() }
+func (t llcTarget) EndEpoch()                            { t.l.EndEpoch() }
+func (t llcTarget) Metrics() *metrics.Registry           { return t.l.Metrics() }
+func (t llcTarget) Sync()                                {}
+
 // Core is one simulated core: a program plus private caches.
 type Core struct {
+	idx    int // position in System.cores; the Target fan-out key
 	app    Program
 	l1, l2 *cache.Cache
 	pf     *Prefetcher
 	cycles uint64
 	insts  uint64
 }
+
+// Index returns the core's position in the system (the fan-out key passed
+// to the LLC target).
+func (c *Core) Index() int { return c.idx }
 
 // Prefetcher returns the core's prefetcher (nil when disabled).
 func (c *Core) Prefetcher() *Prefetcher { return c.pf }
@@ -118,9 +178,14 @@ func (c *Core) L2() *cache.Cache { return c.l2 }
 
 // System is the full simulated machine.
 type System struct {
-	cfg   Config
+	cfg    Config
+	target Target
+	// llc is the concrete sequential LLC when the target wraps one; nil
+	// when a sharded router is plugged in (use Target then).
 	llc   *hybrid.LLC
 	cores []*Core
+	// compress caches target.CompressionEnabled() (constant per run).
+	compress bool
 
 	epochEnd uint64
 	// Epochs counts completed set-dueling epochs.
@@ -185,6 +250,14 @@ func New(cfg Config, llc *hybrid.LLC, apps []*workload.App) *System {
 // NewFromPrograms builds a system from arbitrary per-core programs (e.g.
 // trace replays).
 func NewFromPrograms(cfg Config, llc *hybrid.LLC, apps []Program) *System {
+	s := NewWithTarget(cfg, LLCTarget(llc), apps)
+	s.llc = llc
+	return s
+}
+
+// NewWithTarget builds a system running the programs against an arbitrary
+// LLC target (a sequential LLC adapter or internal/shard's router).
+func NewWithTarget(cfg Config, t Target, apps []Program) *System {
 	if len(apps) == 0 {
 		panic("hier: no applications")
 	}
@@ -194,12 +267,13 @@ func NewFromPrograms(cfg Config, llc *hybrid.LLC, apps []Program) *System {
 	if cfg.EpochCycles == 0 {
 		cfg.EpochCycles = 2_000_000
 	}
-	s := &System{cfg: cfg, llc: llc, epochEnd: cfg.EpochCycles}
+	s := &System{cfg: cfg, target: t, epochEnd: cfg.EpochCycles, compress: t.CompressionEnabled()}
 	if cfg.Banks > 0 {
 		s.bankFree = make([]uint64, cfg.Banks)
 	}
-	for _, app := range apps {
+	for i, app := range apps {
 		c := &Core{
+			idx: i,
 			app: app,
 			l1:  cache.New(cfg.L1Sets, cfg.L1Ways),
 			l2:  cache.New(cfg.L2Sets, cfg.L2Ways),
@@ -209,7 +283,7 @@ func NewFromPrograms(cfg Config, llc *hybrid.LLC, apps []Program) *System {
 		}
 		s.cores = append(s.cores, c)
 	}
-	s.registerMetrics(llc.Metrics(), cfg.EpochRingCapacity)
+	s.registerMetrics(t.Metrics(), cfg.EpochRingCapacity)
 	return s
 }
 
@@ -278,10 +352,10 @@ func (s *System) recordEpoch(cycle uint64) {
 		s.epochPrev[i] = v
 	}
 	cpth := 0
-	if w, ok := s.llc.Thresholds().(interface{ Winner() int }); ok {
+	if w, ok := s.target.Thresholds().(interface{ Winner() int }); ok {
 		cpth = w.Winner()
 	} else {
-		cpth = s.llc.Thresholds().CPthFor(0)
+		cpth = s.target.Thresholds().CPthFor(0)
 	}
 	s.ring.Record(s.Epochs-1, cycle, ipcSum/float64(len(s.cores)),
 		deltas[0], deltas[1], deltas[2], deltas[3], float64(cpth))
@@ -302,8 +376,12 @@ func (s *System) SetAccessProbe(p AccessProbe) { s.probe = p }
 // AccessProbe returns the currently attached probe (nil when none).
 func (s *System) AccessProbe() AccessProbe { return s.probe }
 
-// LLC returns the shared last-level cache.
+// LLC returns the shared last-level cache, or nil when the system runs
+// against a sharded router target (use Target then).
 func (s *System) LLC() *hybrid.LLC { return s.llc }
+
+// Target returns the LLC target the front-end issues accesses to.
+func (s *System) Target() Target { return s.target }
 
 // Cores returns the simulated cores.
 func (s *System) Cores() []*Core { return s.cores }
@@ -352,6 +430,7 @@ func (s *System) Run(cycles uint64) RunStats {
 		startInsts[i] = c.insts
 		startCycles[i] = c.cycles
 	}
+	s.target.Sync()
 	before := s.reg.Snapshot()
 
 	for {
@@ -366,15 +445,10 @@ func (s *System) Run(cycles uint64) RunStats {
 			break
 		}
 		s.step(core)
-		// Close epochs as the global clock crosses boundaries.
-		for now := s.Now(); now >= s.epochEnd; {
-			s.llc.EndEpoch()
-			s.Epochs++
-			s.recordEpoch(s.epochEnd)
-			s.epochEnd += s.cfg.EpochCycles
-		}
+		s.closeEpochs()
 	}
 
+	s.target.Sync()
 	delta := s.reg.Snapshot().Delta(before)
 	out := RunStats{
 		Cycles:     s.Now() - start,
@@ -397,8 +471,38 @@ func (s *System) Run(cycles uint64) RunStats {
 	return out
 }
 
+// closeEpochs closes set-dueling epochs as the global clock crosses
+// EpochCycles boundaries. The target's EndEpoch quiesces a sharded
+// engine, so the sample recordEpoch takes reads settled counters.
+func (s *System) closeEpochs() {
+	for now := s.Now(); now >= s.epochEnd; {
+		s.target.EndEpoch()
+		s.Epochs++
+		s.recordEpoch(s.epochEnd)
+		s.epochEnd += s.cfg.EpochCycles
+	}
+}
+
 // Accesses returns the total number of memory accesses executed.
 func (s *System) Accesses() uint64 { return s.accesses }
+
+// StepAccesses executes exactly n memory accesses, advancing the
+// furthest-behind core each time, without opening a measurement window —
+// no registry snapshots are taken, so the steady-state call is
+// allocation-free. Epochs still close as the clock crosses boundaries.
+// The alloc-regression tests use it to pin the engines' hot paths.
+func (s *System) StepAccesses(n int) {
+	for k := 0; k < n; k++ {
+		core := s.cores[0]
+		for _, c := range s.cores[1:] {
+			if c.cycles < core.cycles {
+				core = c
+			}
+		}
+		s.step(core)
+		s.closeEpochs()
+	}
+}
 
 // step executes one memory access on a core.
 func (s *System) step(c *Core) {
@@ -453,9 +557,9 @@ func (s *System) step(c *Core) {
 	// LLC (GetX for fetches with write permission, GetS otherwise).
 	var res hybrid.AccessResult
 	if acc.Write {
-		res = s.llc.GetX(acc.Block)
+		res = s.target.GetX(c.idx, acc.Block)
 	} else {
-		res = s.llc.GetS(acc.Block)
+		res = s.target.GetS(c.idx, acc.Block)
 	}
 	switch {
 	case res.Hit && res.Part == hybrid.SRAM:
@@ -463,7 +567,7 @@ func (s *System) step(c *Core) {
 		c.cycles += s.bankAcquire(acc.Block, c.cycles, bankOccSRAMRead)
 	case res.Hit:
 		c.cycles += uint64(lat.LLCNVM)
-		if s.llc.CompressionEnabled() {
+		if s.compress {
 			c.cycles += uint64(lat.Decompress)
 		}
 		c.cycles += s.bankAcquire(acc.Block, c.cycles, bankOccNVMRead)
@@ -497,10 +601,10 @@ func (s *System) fillL2(c *Core, block uint64, dirty bool, flags uint8) {
 		tag.LB = false // a modified block cannot be a loop-block
 	}
 	var content []byte
-	if s.llc.CompressionEnabled() {
+	if s.compress {
 		content = s.appOf(ev.Block).ContentInto(s.contentBuf[:], ev.Block)
 	}
-	out := s.llc.Insert(ev.Block, ev.Dirty, tag, content)
+	out := s.target.Insert(c.idx, ev.Block, ev.Dirty, tag, content)
 	if occ := bankWriteOcc(out); occ > 0 {
 		// The write itself is off the core's critical path (posted by the
 		// L2 eviction), but it occupies the bank and delays later reads.

@@ -92,7 +92,7 @@ func (s *System) prefetch(c *Core, targets []uint64) {
 		if _, ok := c.l2.Lookup(block); ok {
 			continue
 		}
-		res := s.llc.GetS(block)
+		res := s.target.GetS(c.idx, block)
 		if res.Hit {
 			s.bankAcquire(block, c.cycles, bankOccNVMRead) // occupy; no core stall
 		} else {

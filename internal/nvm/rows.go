@@ -1,0 +1,97 @@
+package nvm
+
+import "math"
+
+func wearBits(w float64) uint64 { return math.Float64bits(w) }
+
+// Row-ranged views over the array. The set-sharded engine gives every
+// shard a full-geometry array (so all shards draw identical per-byte
+// endurance limits from the shared sampler stream) but only ever writes
+// the set rows it owns; these helpers let it aggregate and fingerprint
+// exactly those rows, in physical set-major order.
+
+// StatsRows computes the ArrayStats aggregates restricted to the physical
+// set rows [lo, hi). WearMean and CapacityFraction are normalized over the
+// frames of that range only, so disjoint ranges can be recombined by
+// frame-count weighting.
+func (a *Array) StatsRows(lo, hi int) ArrayStats {
+	var st ArrayStats
+	if lo < 0 || hi > a.sets || lo >= hi {
+		return st
+	}
+	frames := a.frames[lo*a.ways : hi*a.ways]
+	if len(frames) == 0 {
+		return st
+	}
+	have := 0
+	for _, f := range frames {
+		st.BytesWritten += f.totalWritten
+		st.PhaseBytesWritten += f.phaseWritten
+		st.FaultyBytes += FrameBytes - f.live
+		have += f.EffectiveCapacity()
+		if f.dead {
+			st.DeadFrames++
+		} else {
+			st.LiveFrames++
+		}
+		st.WearMean += f.wear
+		if f.wear > st.WearMax {
+			st.WearMax = f.wear
+		}
+	}
+	st.WearMean /= float64(len(frames))
+	st.CapacityFraction = float64(have) / float64(len(frames)*DataBytes)
+	return st
+}
+
+// FramesRows returns the physical frames of set rows [lo, hi), set-major.
+// Unlike Frame(set, way) it ignores the inter-set remap; callers (the
+// shard engine, which never rotates) want the stable physical order.
+func (a *Array) FramesRows(lo, hi int) []*Frame {
+	return a.frames[lo*a.ways : hi*a.ways]
+}
+
+// FaultDigestFrames fingerprints the fault and wear state of a frame
+// slice: each frame contributes its 66-bit fault map, its dead flag, its
+// live-byte count, its total bytes written and its shared wear level to
+// an FNV-1a accumulation. Frame sequences that went through identical
+// write histories produce identical digests; the shard-equivalence suite
+// compares them across shard counts.
+func FaultDigestFrames(frames []*Frame) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, f := range frames {
+		mix(f.faulty.lo)
+		mix(f.faulty.hi)
+		if f.dead {
+			mix(1)
+		} else {
+			mix(0)
+		}
+		mix(uint64(f.live))
+		mix(f.totalWritten)
+		mix(wearBits(f.wear))
+	}
+	return h
+}
+
+// FaultDigestRows fingerprints the physical set rows [lo, hi).
+func (a *Array) FaultDigestRows(lo, hi int) uint64 {
+	if lo < 0 || hi > a.sets || lo >= hi {
+		return FaultDigestFrames(nil)
+	}
+	return FaultDigestFrames(a.frames[lo*a.ways : hi*a.ways])
+}
+
+// FaultDigest fingerprints the whole array (all physical set rows).
+func (a *Array) FaultDigest() uint64 { return a.FaultDigestRows(0, a.sets) }

@@ -1,0 +1,39 @@
+package shard_test
+
+// Alloc-regression pin for the sharded engine, extending the hot-path
+// pins of internal/hybrid: a steady-state access driven through a 4-shard
+// engine — front-end step, event batching, channel handoff, worker-side
+// replay with content regeneration — must allocate nothing. The batch
+// pool, the pending maps and the content scratch are all preallocated;
+// this test fails with the measured count if any of them regresses.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestShardedSteadyStateZeroAllocs(t *testing.T) {
+	cfg := core.QuickConfig()
+	cfg.PolicyName = "CP_SD"
+	cfg.LLCSets = 128
+	cfg.Shards = 4
+	// Epochs never close during the measurement: epoch recording (ring
+	// samples, vote merges) is off the steady-state path by design.
+	cfg.EpochCycles = 1 << 40
+	e, err := cfg.BuildEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Warm up: fill the private caches, the shard LLCs, the pending maps
+	// and the transport's batch pool.
+	e.StepAccesses(200_000)
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		e.StepAccesses(500)
+	}); allocs != 0 {
+		t.Errorf("sharded steady-state access allocates %.1f times per run, want 0", allocs)
+	}
+}

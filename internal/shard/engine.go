@@ -1,0 +1,314 @@
+// Package shard implements a deterministic set-sharded execution engine
+// for the hybrid LLC. The LLC's sets are partitioned into N contiguous
+// shards; each shard owns a full-geometry LLC clone (its own data path,
+// scratch buffers and identically seeded endurance sampler stream, so all
+// clones draw the same per-byte limits and set indices need no
+// translation) plus its own dueling controller and metrics registry
+// sub-tree. The hierarchy front-end runs unchanged on one goroutine and
+// routes each LLC access by set index to the owning shard; worker
+// goroutines apply the routed events in FIFO order.
+//
+// The headline guarantee is bit-identical output: for a fixed seed, mix
+// and policy, shards=N produces byte-for-byte the same metrics snapshot,
+// epoch series, fault-map digest and forecast curve as shards=1. That
+// holds because (1) routed accesses always answer as misses with a zero
+// tag, making core timing — and therefore the per-shard event streams —
+// independent of LLC state and of N; (2) per-set LLC state only depends
+// on its own set's event order, which FIFO application preserves; (3) the
+// epoch barrier merges sampler votes and reads metrics in ascending shard
+// order with exact integer arithmetic; and (4) every float accumulation
+// over frames iterates them in global set-major order regardless of N.
+// The differential shard-equivalence suite enforces this under -race.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/dueling"
+	"repro/internal/hier"
+	"repro/internal/hybrid"
+	"repro/internal/metrics"
+	"repro/internal/nvm"
+	"repro/internal/workload"
+)
+
+// Config assembles one sharded engine.
+type Config struct {
+	// Shards is the number of set shards (>= 1). 1 runs the router
+	// inline on the front-end goroutine — the differential reference.
+	Shards int
+	// Sets is the LLC set count shared by every shard clone.
+	Sets int
+	// Hier configures the front-end (private caches, timing, epochs).
+	// Prefetching must be off: prefetch tags are assigned front-end-side
+	// from LLC answers the router never gives.
+	Hier hier.Config
+	// NewLLC builds the shard'th full-geometry LLC clone. It must
+	// construct a fresh, identically seeded endurance sampler per call
+	// and register into a fresh metrics registry (hybrid.Config.Metrics
+	// nil), so every clone draws identical per-byte limits and the
+	// per-shard registries stay disjoint.
+	NewLLC func(shard int) *hybrid.LLC
+	// Global is the epoch-merge CPth provider: a *dueling.Controller for
+	// dueling policies (same geometry as the shard controllers), nil or
+	// a FixedThreshold otherwise.
+	Global hybrid.ThresholdProvider
+	// Apps are the per-core programs (one per core, at most 256).
+	Apps []*workload.App
+}
+
+// Engine couples the front-end system with the shard router.
+type Engine struct {
+	sys    *hier.System
+	router *Router
+	closed bool
+}
+
+// New builds and starts a sharded engine (worker goroutines spawn only
+// for Shards > 1; stop them with Close).
+func New(cfg Config) (*Engine, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: %d shards, want >= 1", cfg.Shards)
+	}
+	if cfg.Sets < 1 {
+		return nil, fmt.Errorf("shard: %d sets, want >= 1", cfg.Sets)
+	}
+	if cfg.Shards > cfg.Sets {
+		return nil, fmt.Errorf("shard: %d shards exceed %d sets", cfg.Shards, cfg.Sets)
+	}
+	if len(cfg.Apps) == 0 {
+		return nil, fmt.Errorf("shard: no applications")
+	}
+	if len(cfg.Apps) > 256 {
+		return nil, fmt.Errorf("shard: %d cores exceed the 256-core event encoding", len(cfg.Apps))
+	}
+	if cfg.Hier.Prefetch {
+		return nil, fmt.Errorf("shard: the L2 prefetcher requires the sequential engine (shards=1 via hier)")
+	}
+	if cfg.NewLLC == nil {
+		return nil, fmt.Errorf("shard: nil NewLLC builder")
+	}
+
+	r := &Router{
+		sets:    cfg.Sets,
+		ownerOf: make([]uint16, cfg.Sets),
+		apps:    cfg.Apps,
+	}
+	// Pre-size the pending maps for the total private L2 capacity split
+	// across shards, so the steady state never grows them.
+	pendCap := cfg.Hier.L2Sets*cfg.Hier.L2Ways*len(cfg.Apps)/cfg.Shards + 16
+	for i := 0; i < cfg.Shards; i++ {
+		lo := i * cfg.Sets / cfg.Shards
+		hi := (i + 1) * cfg.Sets / cfg.Shards
+		for s := lo; s < hi; s++ {
+			r.ownerOf[s] = uint16(i)
+		}
+		llc := cfg.NewLLC(i)
+		if llc == nil || llc.Sets() != cfg.Sets {
+			return nil, fmt.Errorf("shard: NewLLC(%d) geometry mismatch", i)
+		}
+		ctrl, _ := llc.Thresholds().(*dueling.Controller)
+		w := &shardWorker{
+			llc:      llc,
+			ctrl:     ctrl,
+			lo:       lo,
+			hi:       hi,
+			pending:  make(map[pendKey]pendVal, pendCap),
+			apps:     cfg.Apps,
+			compress: llc.CompressionEnabled(),
+		}
+		r.shards = append(r.shards, w)
+	}
+	r.compress = r.shards[0].compress
+
+	r.global = cfg.Global
+	if r.global == nil {
+		r.global = hybrid.FixedThreshold(64)
+	}
+	r.globalCtrl, _ = r.global.(*dueling.Controller)
+	if r.globalCtrl != nil {
+		for i, w := range r.shards {
+			if w.ctrl == nil {
+				return nil, fmt.Errorf("shard: global dueling controller but shard %d LLC has none", i)
+			}
+		}
+	}
+
+	// Owned physical frames in global set-major order: set s contributes
+	// the frames of its owning shard's array row s.
+	if arr0 := r.shards[0].llc.Array(); arr0 != nil {
+		r.frames = make([]*nvm.Frame, 0, cfg.Sets*arr0.Ways())
+		for s := 0; s < cfg.Sets; s++ {
+			arr := r.shards[r.ownerOf[s]].llc.Array()
+			r.frames = append(r.frames, arr.FramesRows(s, s+1)...)
+		}
+	}
+	r.buildRegistry()
+
+	if cfg.Shards > 1 {
+		r.parallel = true
+		r.ack = make(chan struct{}, cfg.Shards)
+		for _, w := range r.shards {
+			w.work = make(chan *batch, queueDepth)
+			w.free = make(chan *batch, queueDepth-1)
+			for k := 0; k < queueDepth-1; k++ {
+				w.free <- &batch{}
+			}
+			w.cur = &batch{}
+			w.ack = r.ack
+			r.wg.Add(1)
+			go func(w *shardWorker) {
+				defer r.wg.Done()
+				w.run()
+			}(w)
+		}
+	}
+
+	hcfg := cfg.Hier
+	hcfg.Shards = cfg.Shards
+	progs := make([]hier.Program, len(cfg.Apps))
+	for i, a := range cfg.Apps {
+		progs[i] = a
+	}
+	sys := hier.NewWithTarget(hcfg, r, progs)
+	return &Engine{sys: sys, router: r}, nil
+}
+
+// System returns the front-end hierarchy.
+func (e *Engine) System() *hier.System { return e.sys }
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.router.shards) }
+
+// Run advances the engine by the given wall-clock cycles; the returned
+// stats read the merged registry (quiesced at the window edges).
+func (e *Engine) Run(cycles uint64) hier.RunStats { return e.sys.Run(cycles) }
+
+// StepAccesses executes exactly n accesses without snapshotting (the
+// allocation-free drive path; see hier.System.StepAccesses).
+func (e *Engine) StepAccesses(n int) { e.sys.StepAccesses(n) }
+
+// Sync blocks until every routed access has fully executed.
+func (e *Engine) Sync() { e.router.Sync() }
+
+// Metrics returns the merged registry (read it only via Snapshot, or
+// after Sync, while no Run is in flight).
+func (e *Engine) Metrics() *metrics.Registry { return e.router.reg }
+
+// Snapshot quiesces the engine and snapshots the merged registry.
+func (e *Engine) Snapshot() metrics.Snapshot {
+	e.router.Sync()
+	return e.router.reg.Snapshot()
+}
+
+// EpochSamples returns the per-epoch series recorded by the front-end.
+func (e *Engine) EpochSamples() []metrics.Sample { return e.sys.EpochSamples() }
+
+// PolicyName names the insertion policy the shard LLCs run.
+func (e *Engine) PolicyName() string { return e.router.shards[0].llc.Policy().Name() }
+
+// CompressionEnabled reports whether the shard LLCs compress blocks.
+func (e *Engine) CompressionEnabled() bool { return e.router.compress }
+
+// Dueling returns the global (merged) dueling controller, if the policy
+// duels.
+func (e *Engine) Dueling() (*dueling.Controller, bool) {
+	return e.router.globalCtrl, e.router.globalCtrl != nil
+}
+
+// ShardLLC exposes shard i's LLC clone (tests and invariant checks).
+func (e *Engine) ShardLLC(i int) *hybrid.LLC { return e.router.shards[i].llc }
+
+// ShardRange returns the set rows [lo, hi) owned by shard i.
+func (e *Engine) ShardRange(i int) (lo, hi int) {
+	w := e.router.shards[i]
+	return w.lo, w.hi
+}
+
+// CheckInvariants quiesces the engine and checks every shard LLC.
+func (e *Engine) CheckInvariants() error {
+	e.router.Sync()
+	for i, w := range e.router.shards {
+		if err := w.llc.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Frames returns the owned physical NVM frames in global set-major order
+// (nil for SRAM-only configurations). The forecast ages exactly these.
+func (e *Engine) Frames() []*nvm.Frame { return e.router.frames }
+
+// FaultDigest quiesces the engine and fingerprints the owned frames'
+// fault and wear state in global set order.
+func (e *Engine) FaultDigest() uint64 {
+	e.router.Sync()
+	return nvm.FaultDigestFrames(e.router.frames)
+}
+
+// EffectiveCapacityFraction is the merged NVM effective capacity (1 for
+// SRAM-only configurations, matching hybrid.LLC).
+func (e *Engine) EffectiveCapacityFraction() float64 {
+	if e.router.frames == nil {
+		return e.router.shards[0].llc.EffectiveCapacityFraction()
+	}
+	have := 0
+	for _, f := range e.router.frames {
+		have += f.EffectiveCapacity()
+	}
+	return float64(have) / float64(len(e.router.frames)*nvm.DataBytes)
+}
+
+// LiveFrames counts owned frames that can still hold a block.
+func (e *Engine) LiveFrames() int {
+	n := 0
+	for _, f := range e.router.frames {
+		if !f.Dead() {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetPhase clears every shard array's phase write counters.
+func (e *Engine) ResetPhase() {
+	for _, w := range e.router.shards {
+		if arr := w.llc.Array(); arr != nil {
+			arr.ResetPhase()
+		}
+	}
+}
+
+// InvalidateUnfit quiesces the engine and drops entries whose aged frames
+// can no longer hold them, across all shards in ascending order.
+func (e *Engine) InvalidateUnfit() int {
+	e.router.Sync()
+	n := 0
+	for _, w := range e.router.shards {
+		n += w.llc.InvalidateUnfit()
+	}
+	return n
+}
+
+// AdvanceWearCounter rotates every shard's global wear-leveling counter
+// in lockstep, keeping the clones' rearrangement offsets identical.
+func (e *Engine) AdvanceWearCounter(n int) {
+	for _, w := range e.router.shards {
+		if arr := w.llc.Array(); arr != nil {
+			arr.Counter().Advance(n)
+		}
+	}
+}
+
+// Close quiesces the engine and stops the worker goroutines. The engine
+// must not be run afterwards. Close is idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.router.Sync()
+	e.router.close()
+	e.router.wg.Wait()
+}

@@ -1,0 +1,233 @@
+package shard_test
+
+// The differential shard-equivalence suite: the headline guarantee of the
+// set-sharded engine is that shards=N is bit-identical to shards=1 — the
+// same metrics snapshot (every counter and gauge, including the float
+// wear aggregates), the same per-epoch sample series, the same NVM
+// fault-map digest and the same forecast trajectory, byte for byte. The
+// suite runs a matrix of policies × seeded mixes × shard counts
+// (including a non-power-of-two set count, where the contiguous ranges
+// have unequal sizes) against the shards=1 reference. CI runs it under
+// -race, so it doubles as the transport's race proof.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/forecast"
+	"repro/internal/metrics"
+)
+
+// equivCycles spans several 100k-cycle epochs so the epoch barrier (vote
+// merge + winner adoption) is exercised repeatedly, not just at the end.
+const equivCycles = 800_000
+
+// equivConfig builds a small, fault-active configuration: low endurance
+// makes frames fail during the window, so the fault digest compares real
+// wear-out divergence, not just pristine arrays.
+func equivConfig(policy string, mix int, seed uint64, sets, shards int) core.Config {
+	c := core.QuickConfig()
+	c.PolicyName = policy
+	c.MixID = mix
+	c.Seed = seed
+	c.LLCSets = sets
+	c.Shards = shards
+	c.EpochCycles = 100_000
+	c.EnduranceMean = 60_000
+	c.EnduranceCV = 0.3
+	return c
+}
+
+// engineState is everything the equivalence suite compares.
+type engineState struct {
+	snapshot metrics.Snapshot
+	epochs   []metrics.Sample
+	digest   uint64
+	capacity float64
+}
+
+func runEngine(t *testing.T, cfg core.Config) engineState {
+	t.Helper()
+	e, err := cfg.BuildEngine()
+	if err != nil {
+		t.Fatalf("BuildEngine(shards=%d): %v", cfg.Shards, err)
+	}
+	defer e.Close()
+	e.Run(equivCycles)
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("shards=%d: invariants violated after run: %v", cfg.Shards, err)
+	}
+	return engineState{
+		snapshot: e.Snapshot(),
+		epochs:   e.EpochSamples(),
+		digest:   e.FaultDigest(),
+		capacity: e.EffectiveCapacityFraction(),
+	}
+}
+
+func compareStates(t *testing.T, ref, got engineState, shards int) {
+	t.Helper()
+	if !reflect.DeepEqual(ref.snapshot.Counters, got.snapshot.Counters) {
+		for name, want := range ref.snapshot.Counters {
+			if have := got.snapshot.Counters[name]; have != want {
+				t.Errorf("shards=%d: counter %s = %d, want %d", shards, name, have, want)
+			}
+		}
+		for name := range got.snapshot.Counters {
+			if _, ok := ref.snapshot.Counters[name]; !ok {
+				t.Errorf("shards=%d: extra counter %s", shards, name)
+			}
+		}
+	}
+	if !reflect.DeepEqual(ref.snapshot.Gauges, got.snapshot.Gauges) {
+		for name, want := range ref.snapshot.Gauges {
+			if have := got.snapshot.Gauges[name]; math.Float64bits(have) != math.Float64bits(want) {
+				t.Errorf("shards=%d: gauge %s = %v, want bit-identical %v", shards, name, have, want)
+			}
+		}
+		for name := range got.snapshot.Gauges {
+			if _, ok := ref.snapshot.Gauges[name]; !ok {
+				t.Errorf("shards=%d: extra gauge %s", shards, name)
+			}
+		}
+	}
+	if !reflect.DeepEqual(ref.epochs, got.epochs) {
+		t.Errorf("shards=%d: epoch sample series diverged (%d vs %d samples)",
+			shards, len(got.epochs), len(ref.epochs))
+	}
+	if got.digest != ref.digest {
+		t.Errorf("shards=%d: fault digest %#x, want %#x", shards, got.digest, ref.digest)
+	}
+	if math.Float64bits(got.capacity) != math.Float64bits(ref.capacity) {
+		t.Errorf("shards=%d: capacity %v, want bit-identical %v", shards, got.capacity, ref.capacity)
+	}
+}
+
+// TestShardEquivalence is the differential matrix: three policies (plain
+// set dueling, the Th/Tw-rule variant, and a non-dueling baseline), three
+// seeded mixes, shard counts {2, 3, 8} against the shards=1 reference.
+// The 3-shard column on 96 sets exercises unequal contiguous ranges on a
+// non-power-of-two set count.
+func TestShardEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is not short")
+	}
+	workloads := []struct {
+		mix  int
+		seed uint64
+	}{
+		{0, 1},
+		{3, 7},
+		{6, 42},
+	}
+	for _, policy := range []string{"CP_SD", "CP_SD_Th", "LHybrid"} {
+		for _, wl := range workloads {
+			for _, sets := range []int{96, 128} {
+				ref := runEngine(t, equivConfig(policy, wl.mix, wl.seed, sets, 1))
+				for _, shards := range []int{2, 3, 8} {
+					got := runEngine(t, equivConfig(policy, wl.mix, wl.seed, sets, shards))
+					t.Run("", func(t *testing.T) {
+						t.Logf("policy=%s mix=%d seed=%d sets=%d shards=%d",
+							policy, wl.mix, wl.seed, sets, shards)
+						compareStates(t, ref, got, shards)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestShardForecastEquivalence pins the other half of the headline
+// guarantee: the forecast curve — phase measurements, aged capacities,
+// the predicted lifetime — is bit-identical across shard counts, because
+// the engine exposes its frames in global set-major order and the aging
+// heap's tie-breaking follows that order.
+func TestShardForecastEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forecast differential is not short")
+	}
+	fcfg := forecast.Config{
+		ClockHz:           3.5e9,
+		WarmupCycles:      100_000,
+		PhaseCycles:       300_000,
+		CapacityStep:      0.05,
+		TargetCapacity:    0.8,
+		MaxPhases:         4,
+		MaxPredictSeconds: 3600,
+	}
+	var ref forecast.Result
+	for i, shards := range []int{1, 4} {
+		cfg := equivConfig("CP_SD", 0, 1, 96, shards)
+		e, err := cfg.BuildEngine()
+		if err != nil {
+			t.Fatalf("BuildEngine(shards=%d): %v", shards, err)
+		}
+		res := forecast.RunTarget(e.ForecastTarget(), fcfg)
+		e.Close()
+		if i == 0 {
+			ref = res
+			if len(ref.Points) == 0 {
+				t.Fatal("reference forecast produced no points")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(ref, res) {
+			t.Errorf("shards=%d: forecast diverged from shards=1:\n got %+v\nwant %+v",
+				shards, res, ref)
+		}
+	}
+}
+
+// TestShardEngineRejects pins the construction-time guards.
+func TestShardEngineRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"negative", func(c *core.Config) { c.Shards = -1 }},
+		{"more shards than sets", func(c *core.Config) { c.Shards = 97 }},
+		{"prefetcher", func(c *core.Config) { c.Shards = 2; c.EnablePrefetcher = true }},
+		{"invariant checker", func(c *core.Config) { c.Shards = 2; c.CheckEvery = 1000 }},
+	} {
+		cfg := equivConfig("CP_SD", 0, 1, 96, 1)
+		tc.mutate(&cfg)
+		if _, err := cfg.BuildEngine(); err == nil {
+			t.Errorf("%s: BuildEngine accepted invalid config", tc.name)
+		}
+	}
+}
+
+// TestShardRanges pins the contiguous partition: ranges cover [0, sets)
+// without gaps or overlap, including the unequal split of a
+// non-power-of-two set count.
+func TestShardRanges(t *testing.T) {
+	cfg := equivConfig("CP_SD", 0, 1, 96, 5)
+	e, err := cfg.BuildEngine()
+	if err != nil {
+		t.Fatalf("BuildEngine: %v", err)
+	}
+	defer e.Close()
+	next := 0
+	for i := 0; i < e.Shards(); i++ {
+		lo, hi := e.ShardRange(i)
+		if lo != next || hi <= lo {
+			t.Fatalf("shard %d owns [%d,%d), want contiguous from %d", i, lo, hi, next)
+		}
+		next = hi
+	}
+	if next != 96 {
+		t.Fatalf("ranges end at %d, want 96", next)
+	}
+}
+
+// TestShardDeterminism re-runs the same sharded configuration twice: the
+// parallel engine must be deterministic run-to-run, not just equivalent
+// to the sequential one.
+func TestShardDeterminism(t *testing.T) {
+	cfg := equivConfig("CP_SD_Th", 2, 11, 128, 4)
+	a := runEngine(t, cfg)
+	b := runEngine(t, cfg)
+	compareStates(t, a, b, 4)
+}

@@ -1,0 +1,46 @@
+package shard
+
+import (
+	"repro/internal/forecast"
+	"repro/internal/nvm"
+)
+
+// engineTarget adapts *Engine to forecast.Target. The frames it exposes
+// are the router's global set-major slice, so the aging heap's tie-break
+// order — and therefore the whole forecast trajectory — is identical for
+// every shard count.
+type engineTarget struct{ e *Engine }
+
+// ForecastTarget wraps the engine for forecast.RunTarget.
+func (e *Engine) ForecastTarget() forecast.Target { return engineTarget{e} }
+
+func (t engineTarget) PolicyName() string { return t.e.PolicyName() }
+
+func (t engineTarget) Run(cycles uint64) forecast.Window {
+	st := t.e.Run(cycles)
+	return forecast.Window{
+		Cycles:          st.Cycles,
+		MeanIPC:         st.MeanIPC,
+		HitRate:         st.LLC.HitRate(),
+		NVMBytesWritten: st.LLC.NVMBytesWritten,
+	}
+}
+
+func (t engineTarget) Frames() []*nvm.Frame { return t.e.Frames() }
+
+func (t engineTarget) ResetPhase() { t.e.ResetPhase() }
+
+func (t engineTarget) CapacityFraction() float64 { return t.e.EffectiveCapacityFraction() }
+
+func (t engineTarget) LiveFrames() int { return t.e.LiveFrames() }
+
+func (t engineTarget) InvalidateUnfit() int { return t.e.InvalidateUnfit() }
+
+func (t engineTarget) AdvanceWearCounter(n int) { t.e.AdvanceWearCounter(n) }
+
+// RotateSets panics: inter-set rotation moves blocks across shard
+// boundaries; run rotation studies with shards=1 (core.Config validation
+// rejects the combination up front).
+func (t engineTarget) RotateSets(n int) int {
+	panic("shard: inter-set rotation crosses shard boundaries; run with shards=1")
+}

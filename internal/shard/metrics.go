@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/hybrid"
+	"repro/internal/metrics"
+	"repro/internal/nvm"
+)
+
+// buildRegistry assembles the merged registry the front-end sees: every
+// name the sequential engine would register, backed by readers that fold
+// the per-shard registries together. Counter merges are uint64 sums in
+// ascending shard order — exact, so any shard count yields identical
+// values. Float aggregates (the nvm.array gauges) are never recombined
+// from per-shard partials; they are recomputed from the router's global
+// set-major frame slice so the accumulation order — and therefore every
+// rounding step — matches the sequential engine bit for bit.
+func (r *Router) buildRegistry() {
+	reg := metrics.NewRegistry()
+	r.reg = reg
+
+	sum := func(name string) func() uint64 {
+		reads := make([]func() uint64, len(r.shards))
+		for i, w := range r.shards {
+			read, ok := w.llc.Metrics().CounterReader(name)
+			if !ok {
+				panic(fmt.Sprintf("shard: shard %d registry lacks %q", i, name))
+			}
+			reads[i] = read
+		}
+		return func() uint64 {
+			var t uint64
+			for _, read := range reads {
+				t += read()
+			}
+			return t
+		}
+	}
+
+	for _, name := range hybrid.StatNames() {
+		reg.CounterFunc(name, sum(name))
+	}
+	hits, misses := sum("llc.hits"), sum("llc.misses")
+	reg.GaugeFunc("llc.hit_rate", func() float64 {
+		st := hybrid.Stats{Hits: hits(), Misses: misses()}
+		return st.HitRate()
+	})
+
+	if r.frames != nil {
+		// Cache the aggregate once per snapshot/epoch, mirroring
+		// nvm.Array.RegisterMetrics.
+		reg.OnSnapshot(r.refreshArrayStats)
+		st := &r.arrStats
+		reg.CounterFunc("nvm.array.bytes_written", func() uint64 { return st.BytesWritten })
+		reg.GaugeFunc("nvm.array.phase_bytes_written", func() float64 { return float64(st.PhaseBytesWritten) })
+		reg.GaugeFunc("nvm.array.live_frames", func() float64 { return float64(st.LiveFrames) })
+		reg.GaugeFunc("nvm.array.dead_frames", func() float64 { return float64(st.DeadFrames) })
+		reg.GaugeFunc("nvm.array.faulty_bytes", func() float64 { return float64(st.FaultyBytes) })
+		reg.GaugeFunc("nvm.array.capacity_fraction", func() float64 { return st.CapacityFraction })
+		reg.GaugeFunc("nvm.array.wear_mean", func() float64 { return st.WearMean })
+		reg.GaugeFunc("nvm.array.wear_max", func() float64 { return st.WearMax })
+		// The clones advance their remap and wear-level counters in
+		// lockstep (the engine never rotates per shard), so shard 0
+		// speaks for all.
+		arr0 := r.shards[0].llc.Array()
+		reg.GaugeFunc("nvm.array.set_remap", func() float64 { return float64(arr0.SetRemap()) })
+		reg.GaugeFunc("nvm.array.wearlevel_counter", func() float64 { return float64(arr0.Counter().Value()) })
+	}
+
+	if r.globalCtrl != nil {
+		ctrl := r.globalCtrl
+		reg.GaugeFunc("dueling.cpth", func() float64 { return float64(ctrl.Winner()) })
+		reg.CounterFunc("dueling.epochs", func() uint64 { return uint64(len(ctrl.History)) })
+		// Open (intra-epoch) votes live in the shard controllers until
+		// the epoch barrier folds them into the global one.
+		reg.GaugeFunc("dueling.epoch_hits", func() float64 {
+			var t uint64
+			for _, w := range r.shards {
+				h, _ := w.ctrl.OpenVoteTotals()
+				t += h
+			}
+			gh, _ := ctrl.OpenVoteTotals()
+			return float64(t + gh)
+		})
+		reg.GaugeFunc("dueling.epoch_bytes", func() float64 {
+			var t uint64
+			for _, w := range r.shards {
+				_, b := w.ctrl.OpenVoteTotals()
+				t += b
+			}
+			_, gb := ctrl.OpenVoteTotals()
+			return float64(t + gb)
+		})
+	}
+}
+
+// refreshArrayStats recomputes the merged ArrayStats from the global
+// set-major frame order — one pass, identical for every shard count.
+func (r *Router) refreshArrayStats() {
+	if r.frames != nil {
+		r.arrStats = statsOfFrames(r.frames)
+	}
+}
+
+// statsOfFrames mirrors nvm.Array.Stats field for field, over an explicit
+// frame slice in the caller's order.
+func statsOfFrames(frames []*nvm.Frame) nvm.ArrayStats {
+	var st nvm.ArrayStats
+	if len(frames) == 0 {
+		return st
+	}
+	have := 0
+	for _, f := range frames {
+		st.BytesWritten += f.TotalWritten()
+		st.PhaseBytesWritten += f.PhaseWritten()
+		st.FaultyBytes += f.FaultyBytes()
+		have += f.EffectiveCapacity()
+		if f.Dead() {
+			st.DeadFrames++
+		} else {
+			st.LiveFrames++
+		}
+		st.WearMean += f.Wear()
+		if f.Wear() > st.WearMax {
+			st.WearMax = f.Wear()
+		}
+	}
+	st.WearMean /= float64(len(frames))
+	st.CapacityFraction = float64(have) / float64(len(frames)*nvm.DataBytes)
+	return st
+}

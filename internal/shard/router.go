@@ -1,0 +1,303 @@
+package shard
+
+import (
+	"sync"
+
+	"repro/internal/dueling"
+	"repro/internal/hybrid"
+	"repro/internal/metrics"
+	"repro/internal/nvm"
+	"repro/internal/workload"
+)
+
+// Event kinds shipped from the front-end to shard workers. Each event is
+// the minimal record a worker needs to replay the front-end's LLC call
+// exactly: the fetch kind, the requesting core, and — for inserts — the
+// front-end-visible dirtiness plus the content version at eviction time.
+type evKind uint8
+
+const (
+	evGetS evKind = iota
+	evGetX
+	evInsert
+	// evBarrier makes the worker acknowledge on the router's ack channel
+	// once every earlier event has been applied. Shipping it in-band (as
+	// a regular event at the tail of a batch) guarantees the worker has
+	// drained everything before acking, without a second channel racing
+	// the work queue.
+	evBarrier
+)
+
+type event struct {
+	block   uint64
+	version uint32
+	kind    evKind
+	core    uint8
+	dirty   bool
+}
+
+// batchEvents sizes one transport batch (~4 KB of events): large enough
+// to amortize channel synchronization, small enough to keep workers busy.
+const batchEvents = 256
+
+// queueDepth is the number of in-flight batches per shard. All batches
+// are preallocated and recycled through the free list, so the steady
+// state transport allocates nothing.
+const queueDepth = 4
+
+type batch struct {
+	n  int
+	ev [batchEvents]event
+}
+
+// pendKey identifies an outstanding private-cache residency: the same
+// block can live in two cores' L2s simultaneously (fetched separately,
+// with different tags and dirtiness), so the pending map must be keyed by
+// (core, block), not by block alone.
+type pendKey struct {
+	block uint64
+	core  uint8
+}
+
+// pendVal is what the LLC answered at fetch time; the worker folds it
+// into the insert that eventually returns the block.
+type pendVal struct {
+	tag   hybrid.BlockTag
+	dirty bool
+}
+
+// shardWorker owns one contiguous set range [lo, hi) of the LLC: a full-
+// geometry LLC clone (so all shards draw identical endurance limits from
+// identically seeded sampler streams, and set indices need no
+// translation), its own dueling controller, pending-fetch map and content
+// scratch. In parallel mode a goroutine drains the work channel; with
+// shards=1 the router applies events inline on the front-end thread —
+// the same apply code either way, which is why shards=N is bit-identical
+// to shards=1 by construction.
+type shardWorker struct {
+	llc    *hybrid.LLC
+	ctrl   *dueling.Controller // nil unless the policy duels
+	lo, hi int                 // owned set rows
+
+	pending    map[pendKey]pendVal
+	contentBuf [64]byte
+	apps       []*workload.App
+	compress   bool
+
+	work chan *batch
+	free chan *batch
+	cur  *batch
+	ack  chan struct{} // shared with the router
+}
+
+// appOf resolves the app owning a block (same scheme as hier.System).
+func (w *shardWorker) appOf(block uint64) *workload.App {
+	idx := int(block/workload.AppSpacing) - 1
+	if idx >= 0 && idx < len(w.apps) && w.apps[idx].Owns(block) {
+		return w.apps[idx]
+	}
+	for _, a := range w.apps {
+		if a.Owns(block) {
+			return a
+		}
+	}
+	panic("shard: no owner for block")
+}
+
+// apply executes one event against the shard's LLC. The reconstruction
+// rules mirror hier.System exactly: the fetch stores the LLC's answer;
+// the insert ORs the front-end's observed dirtiness into it (every store
+// while the block was privately resident folds into the L2 line's dirty
+// bit by eviction time) and clears the loop-block tag of dirty blocks.
+func (w *shardWorker) apply(e *event) {
+	switch e.kind {
+	case evGetS:
+		res := w.llc.GetS(e.block)
+		w.pending[pendKey{e.block, e.core}] = pendVal{res.Tag, res.Dirty}
+	case evGetX:
+		res := w.llc.GetX(e.block)
+		w.pending[pendKey{e.block, e.core}] = pendVal{res.Tag, res.Dirty}
+	case evInsert:
+		k := pendKey{e.block, e.core}
+		p := w.pending[k]
+		delete(w.pending, k)
+		dirty := e.dirty || p.dirty
+		tag := p.tag
+		if dirty {
+			tag.LB = false // a modified block cannot be a loop-block
+		}
+		var content []byte
+		if w.compress {
+			content = w.appOf(e.block).ContentForVersion(w.contentBuf[:], e.block, e.version)
+		}
+		w.llc.Insert(e.block, dirty, tag, content)
+	case evBarrier:
+		w.ack <- struct{}{}
+	}
+}
+
+// run is the worker goroutine: drain batches in FIFO order, recycle them.
+// All cross-goroutine state handoff happens through the channels, so the
+// engine is race-free by construction (verified under -race in CI).
+func (w *shardWorker) run() {
+	for b := range w.work {
+		for i := 0; i < b.n; i++ {
+			w.apply(&b.ev[i])
+		}
+		b.n = 0
+		w.free <- b
+	}
+}
+
+// Router implements hier.Target by routing each access to the worker
+// owning the block's set. Every LLC access is answered as a miss with a
+// zero tag before the event is even applied — this is what makes the
+// campaign clock deterministic and independent of the shard count: core
+// timing never depends on LLC state, so the per-shard event streams are
+// identical for every N, and per-set LLC state evolution follows from
+// FIFO application alone.
+type Router struct {
+	shards   []*shardWorker
+	ownerOf  []uint16 // set index -> shard index
+	sets     int
+	parallel bool
+
+	global     hybrid.ThresholdProvider
+	globalCtrl *dueling.Controller // non-nil when the policy duels
+
+	apps     []*workload.App
+	compress bool // shard LLCs compress (content versions must ship)
+
+	reg *metrics.Registry
+	ack chan struct{}
+	wg  sync.WaitGroup
+
+	// frames holds the owned physical NVM frames in global set-major
+	// order (set s's frames come from the shard owning s); nil when the
+	// configuration has no NVM part. Merged array gauges, the forecast
+	// and the fault digest iterate it, so their accumulation order is
+	// identical for every shard count — the float sums behind wear_mean
+	// associate the same way whether one shard owns all sets or eight
+	// shards own ranges.
+	frames   []*nvm.Frame
+	arrStats nvm.ArrayStats
+}
+
+// GetS implements hier.Target: enqueue and answer "miss" deterministically.
+func (r *Router) GetS(core int, block uint64) hybrid.AccessResult {
+	r.push(block, event{block: block, kind: evGetS, core: uint8(core)})
+	return hybrid.AccessResult{}
+}
+
+// GetX implements hier.Target.
+func (r *Router) GetX(core int, block uint64) hybrid.AccessResult {
+	r.push(block, event{block: block, kind: evGetX, core: uint8(core)})
+	return hybrid.AccessResult{}
+}
+
+// Insert implements hier.Target. The front-end's tag and content are
+// ignored: in router mode the front-end only ever saw zero tags (every
+// access missed), and content is regenerated worker-side from the version
+// sampled here, on the front-end thread, where reading the app's version
+// table is safe.
+func (r *Router) Insert(core int, block uint64, dirty bool, _ hybrid.BlockTag, _ []byte) hybrid.InsertOutcome {
+	e := event{block: block, kind: evInsert, core: uint8(core), dirty: dirty}
+	if r.compress {
+		idx := int(block/workload.AppSpacing) - 1
+		if idx >= 0 && idx < len(r.apps) && r.apps[idx].Owns(block) {
+			e.version = r.apps[idx].Version(block)
+		} else {
+			for _, a := range r.apps {
+				if a.Owns(block) {
+					e.version = a.Version(block)
+					break
+				}
+			}
+		}
+	}
+	r.push(block, e)
+	return hybrid.InsertOutcome{}
+}
+
+// CompressionEnabled implements hier.Target. It reports false even when
+// the shard LLCs compress: the front-end must not generate content (the
+// workers regenerate it from shipped versions), and the NVM-hit
+// decompression latency never applies because routed accesses always
+// answer as misses.
+func (r *Router) CompressionEnabled() bool { return false }
+
+// Thresholds implements hier.Target: the globally merged CPth provider.
+func (r *Router) Thresholds() hybrid.ThresholdProvider { return r.global }
+
+// Metrics implements hier.Target: the merged registry (see metrics.go).
+func (r *Router) Metrics() *metrics.Registry { return r.reg }
+
+// push routes one event to the owner of the block's set.
+func (r *Router) push(block uint64, e event) {
+	w := r.shards[r.ownerOf[block%uint64(r.sets)]]
+	if !r.parallel {
+		w.apply(&e)
+		return
+	}
+	b := w.cur
+	b.ev[b.n] = e
+	b.n++
+	if b.n == batchEvents {
+		w.work <- b
+		w.cur = <-w.free
+	}
+}
+
+// Sync implements hier.Target: flush every shard's partial batch with a
+// barrier event and wait for all acks. On return every access issued so
+// far has fully executed and the channel handoffs order the workers'
+// writes before the caller's reads.
+func (r *Router) Sync() {
+	if !r.parallel {
+		return
+	}
+	for _, w := range r.shards {
+		b := w.cur
+		b.ev[b.n] = event{kind: evBarrier}
+		b.n++
+		w.work <- b
+		w.cur = <-w.free
+	}
+	for range r.shards {
+		<-r.ack
+	}
+}
+
+// EndEpoch implements hier.Target: the epoch barrier. After quiescing it
+// (a) folds each shard's open sampler votes into the global controller in
+// ascending shard order — vote counters are plain sums, so the global
+// counters equal the sequential engine's exactly — closes the global
+// epoch (applying the plain-winner or Th/Tw rule once, on the combined
+// votes) and distributes the winner back so every shard's follower sets
+// use it; and (b) rebuilds the merged cross-set NVM-capacity snapshot.
+func (r *Router) EndEpoch() {
+	r.Sync()
+	if r.globalCtrl != nil {
+		for _, w := range r.shards {
+			r.globalCtrl.MergeFrom(w.ctrl)
+		}
+		r.globalCtrl.EndEpoch()
+		for _, w := range r.shards {
+			w.ctrl.AdoptWinner(r.globalCtrl)
+		}
+	} else {
+		r.global.EndEpoch()
+	}
+	r.refreshArrayStats()
+}
+
+// close shuts the worker goroutines down (parallel mode only). Callers
+// must Sync first; the engine's Close does.
+func (r *Router) close() {
+	if !r.parallel {
+		return
+	}
+	for _, w := range r.shards {
+		close(w.work)
+	}
+}
