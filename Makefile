@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check ci race-shard shard-smoke fuzz-smoke faultstudy bench bench-parallel bench-go bench-figures validate experiments clean
+.PHONY: all build test vet fmt-check ci race-shard race-server shard-smoke fuzz-smoke serve server-smoke faultstudy bench bench-parallel bench-go bench-figures validate experiments clean
 
 all: build vet test
 
@@ -27,14 +27,17 @@ ci: fmt-check vet build
 	$(MAKE) race-shard
 	$(MAKE) shard-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) server-smoke
 	$(GO) run ./cmd/faultstudy -quick
 	$(MAKE) bench
 	$(MAKE) bench-parallel
 
 # Dedicated race gate for the concurrent engine and the packages it
-# drives: -count=2 reruns defeat one-shot schedule luck.
+# drives: -count=2 reruns defeat one-shot schedule luck. The simd job
+# daemon rides along — its queue/drain/stream paths are all goroutine
+# hand-offs.
 race-shard:
-	$(GO) test -race -count=2 ./internal/shard ./internal/hybrid ./internal/hier
+	$(GO) test -race -count=2 ./internal/shard ./internal/hybrid ./internal/hier ./internal/server
 
 # Shard-equivalence smoke: the differential matrix proving shards=N is
 # bit-identical to shards=1, under the race detector.
@@ -46,6 +49,41 @@ shard-smoke:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzBDIRoundTrip$$' -fuzztime=10s ./internal/bdi
 	$(GO) test -run='^$$' -fuzz='^FuzzTraceParse$$' -fuzztime=10s ./internal/trace
+
+# Run the simulation daemon on :8080 (see README for the curl quickstart).
+serve:
+	$(GO) run ./cmd/simd
+
+# Daemon smoke: boot simd on a scratch port, submit a quick job over
+# HTTP, poll it to completion, pull the epoch stream, and check that a
+# resubmission is served from the result cache.
+SMOKE_ADDR = 127.0.0.1:18080
+SMOKE_BODY = {"config":{"llc_sets":256,"scale":0.15,"l2_size_kb":64,"epoch_cycles":200000},"warmup_cycles":100000,"measure_cycles":600000}
+server-smoke:
+	@$(GO) build -o simd-smoke ./cmd/simd
+	@./simd-smoke -addr $(SMOKE_ADDR) >/dev/null 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; rm -f simd-smoke' EXIT; \
+	ok=; for i in $$(seq 1 50); do \
+		curl -fs http://$(SMOKE_ADDR)/healthz >/dev/null 2>&1 && ok=1 && break; sleep 0.1; \
+	done; \
+	[ -n "$$ok" ] || { echo "simd never came up"; exit 1; }; \
+	id=$$(curl -fs -X POST -d '$(SMOKE_BODY)' http://$(SMOKE_ADDR)/v1/jobs \
+		| sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1); \
+	[ -n "$$id" ] || { echo "submission returned no job id"; exit 1; }; \
+	state=; for i in $$(seq 1 150); do \
+		state=$$(curl -fs http://$(SMOKE_ADDR)/v1/jobs/$$id \
+			| sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -1); \
+		[ "$$state" = completed ] && break; sleep 0.2; \
+	done; \
+	[ "$$state" = completed ] || { echo "job $$id ended in state '$$state'"; exit 1; }; \
+	epochs=$$(curl -fs http://$(SMOKE_ADDR)/v1/jobs/$$id/epochs | wc -l); \
+	[ "$$epochs" -ge 2 ] || { echo "epoch stream returned $$epochs lines"; exit 1; }; \
+	curl -fs http://$(SMOKE_ADDR)/v1/jobs/$$id/report?format=text | grep -q mean_ipc \
+		|| { echo "report render missing mean_ipc"; exit 1; }; \
+	hit=$$(curl -fs -X POST -d '$(SMOKE_BODY)' http://$(SMOKE_ADDR)/v1/jobs \
+		| sed -n 's/.*"cache_hit": *\(true\|false\).*/\1/p' | head -1); \
+	[ "$$hit" = true ] || { echo "resubmission was not a cache hit"; exit 1; }; \
+	echo "server-smoke: job $$id completed, $$epochs epochs streamed, cache hit on resubmit"
 
 # Deterministic fault-injection degradation study (quick preset).
 faultstudy:
@@ -93,4 +131,4 @@ experiments:
 	$(GO) run ./cmd/energy     -mixes 1,4,6,8           > results/energy.txt
 
 clean:
-	rm -f test_output.txt bench_output.txt BENCH_hotpath.json BENCH_parallel.json
+	rm -f test_output.txt bench_output.txt BENCH_hotpath.json BENCH_parallel.json simd-smoke

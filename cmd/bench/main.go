@@ -85,6 +85,9 @@ func main() {
 			if shardList, err = cliutil.ParseInts(*shardsArg); err != nil {
 				fatal(err)
 			}
+			if err := cliutil.ValidateShardCounts(cfg, shardList); err != nil {
+				fatal(err)
+			}
 		}
 		// The scaling curve measures one policy; honor an explicit
 		// single-policy -policies selection, keep the config default

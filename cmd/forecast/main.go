@@ -57,11 +57,11 @@ func main() {
 	cfg.NVMLatencyFactor = *nvmlat
 	cfg.Scale = *scale
 	cfg.LLCSets = *sets
-	cfg.Shards = *shards
-	if cfg.Shards > 1 && *rotate {
-		fatal(fmt.Errorf("-rotate moves blocks across shard boundaries; run inter-set rotation with -shards 1"))
-	}
-	if err := cfg.Validate(); err != nil {
+	if err := cliutil.ApplyShards(&cfg, *shards, cliutil.ShardIncompat{
+		When: *rotate,
+		Flag: "-rotate",
+		Why:  "moves blocks across shard boundaries; run inter-set rotation with -shards 1",
+	}); err != nil {
 		fatal(err)
 	}
 

@@ -8,37 +8,47 @@
 //	hybridsim -policy CP_SD -mix 5
 //	hybridsim -policy CA_RWR -cpth 40 -measure 20000000
 //	hybridsim -policy CP_SD_Th -th 8 -capacity 0.8
+//	hybridsim -config sweep-point.json            # full config from JSON
+//	hybridsim -trace mix4 -mix 4                  # replay tracegen -mix output
 //	hybridsim -json | jq .fields.mean_ipc
 //	hybridsim -epochs -csv > epochs.csv
+//
+// With -config the file (core.Config JSON, unknown fields rejected) is
+// loaded first and explicitly set flags override it. With -trace the
+// per-core stimulus is replayed from tracegen's prefix.coreN.trc files
+// (gzip-compressed traces are detected transparently) instead of being
+// generated live; mix, seed and scale must match the recording.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/check"
+	"repro/internal/cliutil"
 	"repro/internal/core"
-	"repro/internal/hier"
 	"repro/internal/report"
-	"repro/internal/stats"
 )
 
 func main() {
-	cfg := core.DefaultConfig()
-	policyName := flag.String("policy", cfg.PolicyName, "insertion policy (SRAM16, SRAM4, BH, BH_CP, CA, CA_RWR, CP_SD, CP_SD_Th, LHybrid, TAP)")
+	def := core.DefaultConfig()
+	configPath := flag.String("config", "", "load a core.Config JSON file (flags set explicitly still override)")
+	tracePrefix := flag.String("trace", "", "replay recorded traces from prefix.coreN.trc instead of live generation")
+	policyName := flag.String("policy", def.PolicyName, "insertion policy (SRAM16, SRAM4, BH, BH_CP, CA, CA_RWR, CP_SD, CP_SD_Th, LHybrid, TAP)")
 	mix := flag.Int("mix", 1, "Table V mix number (1-10)")
-	seed := flag.Uint64("seed", cfg.Seed, "deterministic seed")
-	scale := flag.Float64("scale", cfg.Scale, "workload footprint scale")
-	sets := flag.Int("sets", cfg.LLCSets, "LLC sets")
-	sram := flag.Int("sram", cfg.SRAMWays, "SRAM ways")
-	nvmWays := flag.Int("nvm", cfg.NVMWays, "NVM ways")
-	l2kb := flag.Int("l2kb", cfg.L2SizeKB, "L2 size in KB")
-	cpth := flag.Int("cpth", cfg.CPth, "fixed compression threshold for CA/CA_RWR")
-	th := flag.Float64("th", cfg.Th, "CP_SD_Th hit-sacrifice percentage")
-	tw := flag.Float64("tw", cfg.Tw, "CP_SD_Th write-reduction percentage")
-	cv := flag.Float64("cv", cfg.EnduranceCV, "endurance coefficient of variation")
-	nvmlat := flag.Float64("nvmlat", cfg.NVMLatencyFactor, "NVM data-array latency factor")
+	seed := flag.Uint64("seed", def.Seed, "deterministic seed")
+	scale := flag.Float64("scale", def.Scale, "workload footprint scale")
+	sets := flag.Int("sets", def.LLCSets, "LLC sets")
+	sram := flag.Int("sram", def.SRAMWays, "SRAM ways")
+	nvmWays := flag.Int("nvm", def.NVMWays, "NVM ways")
+	l2kb := flag.Int("l2kb", def.L2SizeKB, "L2 size in KB")
+	cpth := flag.Int("cpth", def.CPth, "fixed compression threshold for CA/CA_RWR")
+	th := flag.Float64("th", def.Th, "CP_SD_Th hit-sacrifice percentage")
+	tw := flag.Float64("tw", def.Tw, "CP_SD_Th write-reduction percentage")
+	cv := flag.Float64("cv", def.EnduranceCV, "endurance coefficient of variation")
+	nvmlat := flag.Float64("nvmlat", def.NVMLatencyFactor, "NVM data-array latency factor")
 	capacity := flag.Float64("capacity", 1.0, "pre-age the NVM part to this capacity fraction")
 	warmup := flag.Uint64("warmup", 2_000_000, "warm-up cycles")
 	measure := flag.Uint64("measure", 10_000_000, "measured cycles")
@@ -52,90 +62,104 @@ func main() {
 	shards := flag.Int("shards", 1, "set shards; >1 runs the parallel engine (bit-identical for any count)")
 	flag.Parse()
 
-	cfg.PolicyName = *policyName
-	cfg.MixID = *mix - 1
-	cfg.Seed = *seed
-	cfg.Scale = *scale
-	cfg.LLCSets = *sets
-	cfg.SRAMWays = *sram
-	cfg.NVMWays = *nvmWays
-	cfg.L2SizeKB = *l2kb
-	cfg.CPth = *cpth
-	cfg.Th, cfg.Tw = *th, *tw
-	cfg.EnduranceCV = *cv
-	cfg.NVMLatencyFactor = *nvmlat
-	cfg.EnablePrefetcher = *prefetch
-	cfg.NVMRRIP = *rrip
-	cfg.CheckEvery = *checkEvery
-	cfg.Shards = *shards
-	if err := cfg.Validate(); err != nil {
+	cfg := def
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := core.UnmarshalStrict(data, &cfg); err != nil {
+			fatal(fmt.Errorf("%s: %w", *configPath, err))
+		}
+	}
+
+	// Explicitly set flags win over the config file; with no -config this
+	// reduces to the classic flags-over-defaults behaviour.
+	shardCount := cfg.Shards
+	if shardCount < 1 {
+		shardCount = 1
+	}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "policy":
+			cfg.PolicyName = *policyName
+		case "mix":
+			cfg.MixID = *mix - 1
+		case "seed":
+			cfg.Seed = *seed
+		case "scale":
+			cfg.Scale = *scale
+		case "sets":
+			cfg.LLCSets = *sets
+		case "sram":
+			cfg.SRAMWays = *sram
+		case "nvm":
+			cfg.NVMWays = *nvmWays
+		case "l2kb":
+			cfg.L2SizeKB = *l2kb
+		case "cpth":
+			cfg.CPth = *cpth
+		case "th":
+			cfg.Th = *th
+		case "tw":
+			cfg.Tw = *tw
+		case "cv":
+			cfg.EnduranceCV = *cv
+		case "nvmlat":
+			cfg.NVMLatencyFactor = *nvmlat
+		case "prefetch":
+			cfg.EnablePrefetcher = *prefetch
+		case "rrip":
+			cfg.NVMRRIP = *rrip
+		case "checkevery":
+			cfg.CheckEvery = *checkEvery
+		case "shards":
+			shardCount = *shards
+		}
+	})
+	if err := cliutil.ApplyShards(&cfg, shardCount, cliutil.ShardIncompat{
+		When: *tracePrefix != "",
+		Flag: "-trace",
+		Why:  "replays through the sequential engine; run trace-driven studies with -shards 1",
+	}); err != nil {
 		fatal(err)
 	}
 
-	// -shards >1 drives the same scenario through the set-sharded
-	// parallel engine; the summary, metrics and epoch series come out of
-	// the engine's merged registry instead of the sequential system's.
-	var sys *hier.System
-	var s core.Summary
-	var cpthWinner = -1
-	if cfg.Shards > 1 {
-		e, err := cfg.BuildEngine()
-		if err != nil {
-			fatal(err)
+	var h *core.RunHandle
+	var err error
+	if *tracePrefix != "" {
+		progs, perr := cliutil.LoadMixPrograms(*tracePrefix, cfg.MixID, cfg.Seed, cfg.Scale)
+		if perr != nil {
+			fatal(perr)
 		}
-		defer e.Close()
-		if *capacity < 1 {
-			core.PreAgeEngine(e, *capacity)
-		}
-		s = core.MeasureEngine(e, *warmup, *measure)
-		if d, ok := e.Dueling(); ok {
-			cpthWinner = d.Winner()
-		}
-		sys = e.System()
+		h, err = cfg.NewRunHandleFromPrograms(progs)
 	} else {
-		seq, err := cfg.Build()
-		if err != nil {
-			fatal(err)
-		}
-		if *capacity < 1 {
-			core.PreAge(seq, *capacity)
-		}
-		s = core.Measure(seq, *warmup, *measure)
-		if d, ok := core.Dueling(seq); ok {
-			cpthWinner = d.Winner()
-		}
-		sys = seq
+		h, err = cfg.NewRunHandle()
+	}
+	if err != nil {
+		fatal(err)
+	}
+	defer h.Close()
+
+	if *capacity < 1 {
+		h.PreAge(*capacity)
+	}
+	s, err := h.MeasureCtx(context.Background(), *warmup, *measure, core.RunHooks{})
+	if err != nil {
+		fatal(err)
+	}
+	cpthWinner := -1
+	if w, ok := h.DuelingWinner(); ok {
+		cpthWinner = w
 	}
 
-	rep := report.NewReport(fmt.Sprintf("hybridsim: %s mix %d", s.Policy, *mix))
-	rep.AddField("policy", s.Policy)
-	rep.AddField("mix", *mix)
-	rep.AddField("mean_ipc", s.MeanIPC)
-	rep.AddField("hit_rate", s.HitRate)
-	rep.AddField("hits", s.Hits)
-	rep.AddField("misses", s.Misses)
-	rep.AddField("sram_hits", s.SRAMHits)
-	rep.AddField("nvm_hits", s.NVMHits)
-	rep.AddField("inserts", s.Inserts)
-	rep.AddField("migrations", s.Migrations)
-	rep.AddField("nvm_block_writes", s.NVMBlockWrites)
-	rep.AddField("nvm_bytes_written", s.NVMBytesWritten)
-	rep.AddField("nvm_bytes_si", stats.FormatSI(float64(s.NVMBytesWritten)))
-	rep.AddField("nvm_capacity", s.Capacity)
-	if cfg.Shards > 1 {
-		rep.AddField("shards", cfg.Shards)
-	}
-	if cpthWinner >= 0 {
-		rep.AddField("cpth_winner", cpthWinner)
-	}
-	if *allMetrics {
-		rep.AddTable(report.SnapshotTable("window metrics", s.Metrics))
-	}
+	opt := cliutil.RunReportOptions{CPthWinner: cpthWinner, Metrics: *allMetrics}
 	if *epochs {
-		rep.AddTable(report.SeriesTable("epoch series", sys.EpochRing()))
+		opt.Epochs = h.EpochRing().Samples()
 	}
+	rep := cliutil.RunReport(cfg, s, opt)
 	var checkErr error
-	if chk, ok := sys.AccessProbe().(*check.Checker); ok {
+	if chk, ok := h.System().AccessProbe().(*check.Checker); ok {
 		chk.ReportInto(rep)
 		checkErr = chk.Err()
 	}

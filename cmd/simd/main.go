@@ -1,0 +1,87 @@
+// Command simd is the simulation daemon: it serves the hybrid-LLC
+// simulator over HTTP as queued jobs with live epoch streaming and a
+// content-addressed result cache.
+//
+//	simd -addr :8080 -workers 4 -queue 64
+//
+//	curl -s localhost:8080/v1/jobs -d '{"config":{"policy":"CP_SD"}}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -sN localhost:8080/v1/jobs/job-000001/epochs
+//
+// SIGINT/SIGTERM drains gracefully: the listener stops accepting,
+// queued and running jobs finish (up to -drain), then the process
+// exits. A second signal, or the drain deadline, cancels in-flight jobs
+// at their next epoch boundary.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "queued-job bound; full queue returns 429")
+	jobTimeout := flag.Duration("jobtimeout", 0, "per-job deadline (0 = none)")
+	cacheSize := flag.Int("cachesize", 256, "result cache entries (0 = disable)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	cache := *cacheSize
+	if cache <= 0 {
+		cache = server.NoCache
+	}
+	m := server.NewManager(server.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+		CacheSize:  cache,
+		Logger:     log,
+	})
+	srv := &http.Server{Addr: *addr, Handler: server.NewHandler(m, log)}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Info("simd listening", "addr", *addr, "queue", *queue)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Info("shutting down", "signal", sig.String(), "drain", *drain)
+	case err := <-errc:
+		log.Error("listener failed", "err", err)
+		m.Close()
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	go func() {
+		// A second signal abandons the grace period.
+		<-sigc
+		log.Warn("second signal: canceling in-flight jobs")
+		cancel()
+	}()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Warn("listener shutdown", "err", err)
+	}
+	if err := m.Drain(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Warn("drain expired; in-flight jobs canceled", "err", err)
+	}
+	m.Close()
+	log.Info("simd stopped")
+}

@@ -6,7 +6,13 @@
 // Examples:
 //
 //	tracegen -app zeusmp06 -n 1000000 -o zeusmp.trc
+//	tracegen -app zeusmp06 -o zeusmp.trc.gz    # gzip-compressed output
 //	tracegen -mix 4 -n 500000 -o mix4          # writes mix4.core{0..3}.trc
+//	tracegen -mix 4 -gzip -o mix4              # writes mix4.core{0..3}.trc.gz
+//
+// Output ending in ".gz" is gzip-compressed; every trace consumer
+// (hybridsim -trace) detects compression by content, so compressed and
+// plain traces are interchangeable.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/cliutil"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -24,6 +31,7 @@ func main() {
 	mix := flag.Int("mix", 0, "Table V mix to trace (1-10); one file per core")
 	n := flag.Int("n", 1_000_000, "number of accesses to record")
 	out := flag.String("o", "trace.trc", "output file (or prefix for -mix)")
+	gzipOut := flag.Bool("gzip", false, "gzip-compress -mix output (appends .gz to each per-core file)")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	scale := flag.Float64("scale", 0.25, "footprint scale")
 	list := flag.Bool("list", false, "list available application profiles")
@@ -62,6 +70,9 @@ func main() {
 		}
 		for i, app := range apps {
 			name := fmt.Sprintf("%s.core%d.trc", *out, i)
+			if *gzipOut {
+				name += ".gz"
+			}
 			if err := writeTrace(app, *n, name); err != nil {
 				fatal(err)
 			}
@@ -73,7 +84,7 @@ func main() {
 }
 
 func writeTrace(app *workload.App, n int, path string) error {
-	f, err := os.Create(path)
+	f, err := cliutil.CreateTrace(path)
 	if err != nil {
 		return err
 	}

@@ -136,6 +136,12 @@ func RunTasks(tasks []Task, cfg PoolConfig) []TaskResult {
 	return results
 }
 
+// RunTask executes one task behind the pool's recover barrier and
+// optional deadline, outside any pool. The simd job manager runs every
+// queued job through it, so a panicking simulation becomes a failed job
+// record instead of a dead daemon.
+func RunTask(t Task, timeout time.Duration) TaskResult { return runOne(t, timeout) }
+
 type taskOutcome struct {
 	err      error
 	panicked bool

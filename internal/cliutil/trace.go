@@ -1,0 +1,149 @@
+package cliutil
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/hier"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// This file is the shared trace-file opener: every cmd that reads or
+// writes recorded traces goes through it, so gzip transparency is decided
+// in exactly one place. Reading sniffs the gzip magic (0x1f 0x8b) rather
+// than trusting the file name — a renamed .gz still replays; writing
+// compresses when the target name ends in ".gz".
+
+// gzipSuffix selects compressed output in CreateTrace.
+const gzipSuffix = ".gz"
+
+// traceReadCloser bundles a (possibly gzip-wrapped) stream with every
+// closer that must run when the caller is done.
+type traceReadCloser struct {
+	io.Reader
+	closers []io.Closer
+}
+
+func (t *traceReadCloser) Close() error {
+	var first error
+	for i := len(t.closers) - 1; i >= 0; i-- {
+		if err := t.closers[i].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// OpenTrace opens a recorded trace file for reading, transparently
+// decompressing gzip (detected by content sniffing, so both plain and
+// .gz files work regardless of name). The caller must Close the result.
+func OpenTrace(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	br := bufio.NewReader(f)
+	head, err := br.Peek(2)
+	if err == nil && head[0] == 0x1f && head[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &traceReadCloser{Reader: zr, closers: []io.Closer{f, zr}}, nil
+	}
+	// Peek errors (empty file, single byte) surface as decode errors with
+	// file context once the trace reader hits them.
+	return &traceReadCloser{Reader: br, closers: []io.Closer{f}}, nil
+}
+
+// OpenTraceReader opens path and wraps the (possibly compressed) stream
+// in a decoding *trace.Reader; the returned closer releases the file.
+func OpenTraceReader(path string) (*trace.Reader, io.Closer, error) {
+	rc, err := OpenTrace(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return trace.NewReader(rc), rc, nil
+}
+
+// LoadTrace loads an entire (possibly gzip-compressed) trace file into a
+// replayer, adding the file name to any error.
+func LoadTrace(path string) (*trace.Replayer, error) {
+	rc, err := OpenTrace(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	rep, err := trace.Load(rc)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// CreateTrace creates a trace file for writing, gzip-compressing when the
+// name ends in ".gz". Closing the result flushes and closes every layer.
+func CreateTrace(path string) (io.WriteCloser, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(path) >= len(gzipSuffix) && path[len(path)-len(gzipSuffix):] == gzipSuffix {
+		return &traceWriteCloser{Writer: gzip.NewWriter(f), file: f}, nil
+	}
+	return f, nil
+}
+
+// traceWriteCloser closes the gzip layer before the file so the trailer
+// is flushed.
+type traceWriteCloser struct {
+	*gzip.Writer
+	file *os.File
+}
+
+func (t *traceWriteCloser) Close() error {
+	zerr := t.Writer.Close()
+	ferr := t.file.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}
+
+// LoadMixPrograms loads the per-core trace files tracegen -mix writes
+// (prefix.coreN.trc, falling back to prefix.coreN.trc.gz) and pairs each
+// replayer with a content model built from the same mix/seed/scale the
+// recording used, yielding per-core programs for trace-driven replay
+// (hybridsim -trace). Contents stay consistent with the recorded address
+// stream exactly when mix, seed and scale match the tracegen invocation.
+func LoadMixPrograms(prefix string, mixID int, seed uint64, scale float64) ([]hier.Program, error) {
+	apps, err := workload.NewMix(mixID, seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	progs := make([]hier.Program, len(apps))
+	for i, app := range apps {
+		path := fmt.Sprintf("%s.core%d.trc", prefix, i)
+		if _, err := os.Stat(path); err != nil {
+			if gz := path + gzipSuffix; fileExists(gz) {
+				path = gz
+			}
+		}
+		rep, err := LoadTrace(path)
+		if err != nil {
+			return nil, err
+		}
+		progs[i] = trace.NewProgram(rep, app)
+	}
+	return progs, nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}

@@ -1,0 +1,167 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func testApp(t *testing.T, seed uint64) *workload.App {
+	t.Helper()
+	apps, err := workload.NewMix(0, seed, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return apps[0]
+}
+
+// TestTraceGzipRoundTrip records the same access stream plain and
+// gzip-compressed, then replays both through the sniffing opener: the
+// decoded streams must match record for record regardless of encoding or
+// file name.
+func TestTraceGzipRoundTrip(t *testing.T) {
+	const n = 5000
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "a.trc")
+	zipped := filepath.Join(dir, "a.trc.gz")
+	// A gzip stream under a name with no .gz suffix: content sniffing,
+	// not the extension, must decide.
+	disguised := filepath.Join(dir, "disguised.trc")
+
+	for _, path := range []string{plain, zipped} {
+		w, err := CreateTrace(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Record(testApp(t, 7), n, w); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gz, err := os.ReadFile(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(disguised, gz, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pstat, _ := os.Stat(plain)
+	zstat, _ := os.Stat(zipped)
+	if zstat.Size() >= pstat.Size() {
+		t.Errorf("gzip output (%d bytes) not smaller than plain (%d bytes)", zstat.Size(), pstat.Size())
+	}
+
+	ref, err := LoadTrace(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{zipped, disguised} {
+		rep, err := LoadTrace(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if rep.Len() != ref.Len() {
+			t.Fatalf("%s: %d records, want %d", path, rep.Len(), ref.Len())
+		}
+		for i := 0; i < ref.Len(); i++ {
+			if got, want := rep.Next(), ref.Next(); got != want {
+				t.Fatalf("%s: record %d = %+v, want %+v", path, i, got, want)
+			}
+		}
+		ref, err = LoadTrace(plain) // rewind the reference
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTraceReplayMatchesGeneration pins the trace-replay guarantee: a
+// recorded stream replayed through OpenTraceReader yields exactly the
+// accesses a fresh identically-seeded generator produces.
+func TestTraceReplayMatchesGeneration(t *testing.T) {
+	const n = 3000
+	path := filepath.Join(t.TempDir(), "replay.trc.gz")
+	w, err := CreateTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Record(testApp(t, 11), n, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, closer, err := OpenTraceReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	fresh := testApp(t, 11)
+	for i := 0; i < n; i++ {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if want := fresh.Next(); got != want {
+			t.Fatalf("record %d: %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestLoadMixPrograms exercises the per-core loader against tracegen's
+// file layout, including the .gz fallback when the plain name is absent.
+func TestLoadMixPrograms(t *testing.T) {
+	const mixID, seed, scale, n = 0, uint64(3), 0.15, 1000
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "mix1")
+	apps, err := workload.NewMix(mixID, seed, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, app := range apps {
+		name := prefix + ".core" + string(rune('0'+i)) + ".trc"
+		if i%2 == 1 {
+			name += ".gz" // odd cores only exist compressed
+		}
+		w, err := CreateTrace(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Record(app, n, w); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	progs, err := LoadMixPrograms(prefix, mixID, seed, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != len(apps) {
+		t.Fatalf("%d programs, want %d", len(progs), len(apps))
+	}
+	ref, err := workload.NewMix(mixID, seed, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range progs {
+		for k := 0; k < n; k++ {
+			if got, want := p.Next(), ref[i].Next(); got != want {
+				t.Fatalf("core %d record %d: %+v, want %+v", i, k, got, want)
+			}
+		}
+	}
+
+	if _, err := LoadMixPrograms(filepath.Join(dir, "missing"), mixID, seed, scale); err == nil {
+		t.Fatal("missing trace files accepted")
+	}
+}

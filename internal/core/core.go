@@ -24,76 +24,84 @@ import (
 
 // Config declares one simulated machine + workload + policy. The zero
 // value is not usable; start from DefaultConfig.
+//
+// The JSON tags define the configuration wire format shared by
+// `hybridsim -config file.json` and the simd job daemon; UnmarshalStrict
+// decodes it with unknown fields rejected, overlaying a caller-supplied
+// base (typically DefaultConfig) so partial documents stay valid.
 type Config struct {
 	// Workload.
-	MixID int     // Table V mix, 0-based (0..9)
-	Seed  uint64  // workload and endurance sampling seed
-	Scale float64 // footprint scale relative to the scaled-down default
+	MixID int     `json:"mix_id"` // Table V mix, 0-based (0..9)
+	Seed  uint64  `json:"seed"`   // workload and endurance sampling seed
+	Scale float64 `json:"scale"`  // footprint scale relative to the scaled-down default
 
 	// LLC geometry (Table IV: 4 SRAM + 12 NVM ways).
-	LLCSets  int
-	SRAMWays int
-	NVMWays  int
+	LLCSets  int `json:"llc_sets"`
+	SRAMWays int `json:"sram_ways"`
+	NVMWays  int `json:"nvm_ways"`
 
 	// Private levels.
-	L1Sets, L1Ways int
-	L2SizeKB       int // 128 default; §V-E uses 256
-	L2Ways         int
+	L1Sets   int `json:"l1_sets"`
+	L1Ways   int `json:"l1_ways"`
+	L2SizeKB int `json:"l2_size_kb"` // 128 default; §V-E uses 256
+	L2Ways   int `json:"l2_ways"`
 
 	// Policy selection; see Policies() for valid names.
-	PolicyName string
-	CPth       int     // fixed threshold for CA / CA_RWR
-	Th, Tw     float64 // CP_SD_Th rule parameters (§IV-D)
+	PolicyName string  `json:"policy"`
+	CPth       int     `json:"cpth"` // fixed threshold for CA / CA_RWR
+	Th         float64 `json:"th"`   // CP_SD_Th rule parameters (§IV-D)
+	Tw         float64 `json:"tw"`
 
 	// NVM device model.
-	EnduranceMean float64
-	EnduranceCV   float64
+	EnduranceMean float64 `json:"endurance_mean"`
+	EnduranceCV   float64 `json:"endurance_cv"`
 
 	// Timing.
-	EpochCycles      uint64
-	NVMLatencyFactor float64 // scales the NVM data-array latency (§V-F)
+	EpochCycles      uint64  `json:"epoch_cycles"`
+	NVMLatencyFactor float64 `json:"nvm_latency_factor"` // scales the NVM data-array latency (§V-F)
 
 	// Ablations of individual design choices (bench_test.go's ablation
 	// benches quantify each against the full design).
-	AblationHCROnly      bool // original BDI: discard LCR encodings
-	AblationNoInvalidate bool // keep the LLC copy on GetX hits
-	AblationNoMigration  bool // drop read-reused SRAM victims
+	AblationHCROnly      bool `json:"ablation_hcr_only"`      // original BDI: discard LCR encodings
+	AblationNoInvalidate bool `json:"ablation_no_invalidate"` // keep the LLC copy on GetX hits
+	AblationNoMigration  bool `json:"ablation_no_migration"`  // drop read-reused SRAM victims
 
 	// MaterializeData runs the bit-exact Fig-5 NVM data path for every
 	// block (validation mode, ~10x slower; compressing policies only).
-	MaterializeData bool
+	MaterializeData bool `json:"materialize_data"`
 
 	// EnablePrefetcher turns on the per-core L2 stride prefetcher
 	// (degree PrefetchDegree, default 1), restoring TAP's demand/prefetch
 	// block classes.
-	EnablePrefetcher bool
-	PrefetchDegree   int
+	EnablePrefetcher bool `json:"enable_prefetcher"`
+	PrefetchDegree   int  `json:"prefetch_degree"`
 
 	// NVMRRIP switches the NVM-part replacement from the paper's fit-LRU
 	// to fit-RRIP (SRRIP) — an extension for scan-resistant victim
 	// selection.
-	NVMRRIP bool
+	NVMRRIP bool `json:"nvm_rrip"`
 
 	// LLCBanks is the number of address-interleaved LLC banks whose
 	// data-array occupancy is modelled (Table IV: 4). 0 disables bank
 	// contention.
-	LLCBanks int
+	LLCBanks int `json:"llc_banks"`
 
 	// CheckEvery, when non-zero, attaches the runtime invariant checker
 	// to every system this config builds: the full suite (LLC structure,
 	// LRU stack, fault-map consistency, stats conservation, metrics
 	// registry agreement) runs every CheckEvery LLC accesses. Violations
 	// accumulate on the checker, reachable via hier.System.AccessProbe.
-	CheckEvery uint64
+	CheckEvery uint64 `json:"check_every"`
 
 	// Shards selects the set-sharded parallel engine (internal/shard):
 	// the LLC's sets are split into this many contiguous shards applied
 	// by worker goroutines, bit-identical to Shards=1 by construction.
 	// 0 or 1 builds the engine single-sharded (inline, no goroutines).
-	// Only BuildEngine, MeasureEngine and BuildForecastTarget honor it;
-	// Build always constructs the classic sequential system. Shards > 1
-	// is incompatible with EnablePrefetcher and CheckEvery.
-	Shards int
+	// Only BuildEngine, MeasureEngine, BuildForecastTarget and
+	// NewRunHandle honor it; Build always constructs the classic
+	// sequential system. Shards > 1 is incompatible with
+	// EnablePrefetcher and CheckEvery.
+	Shards int `json:"shards"`
 }
 
 // DefaultConfig returns the scaled default system: 1 MB 16-way LLC
@@ -195,11 +203,31 @@ func (c Config) Build() (*hier.System, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	pol, thr, sram, nvmW, err := c.buildPolicy()
+	apps, err := workload.NewMix(c.MixID, c.Seed, c.Scale)
 	if err != nil {
 		return nil, err
 	}
-	apps, err := workload.NewMix(c.MixID, c.Seed, c.Scale)
+	progs := make([]hier.Program, len(apps))
+	for i, a := range apps {
+		progs[i] = a
+	}
+	return c.BuildFromPrograms(progs)
+}
+
+// BuildFromPrograms constructs the simulated system with caller-supplied
+// per-core stimulus programs — typically trace replays loaded through
+// cliutil.LoadMixPrograms — instead of the mix's synthetic applications.
+// Everything else (policy, LLC, hierarchy, invariant checker) is built
+// exactly as Build does it, so a replayed trace recorded from the same
+// mix/seed/scale reproduces the direct run bit for bit.
+func (c Config) BuildFromPrograms(progs []hier.Program) (*hier.System, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("core: no programs")
+	}
+	pol, thr, sram, nvmW, err := c.buildPolicy()
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +254,7 @@ func (c Config) Build() (*hier.System, error) {
 		PrefetchDegree: c.PrefetchDegree,
 		Banks:          c.LLCBanks,
 	}
-	sys := hier.New(hcfg, llc, apps)
+	sys := hier.NewFromPrograms(hcfg, llc, progs)
 	if c.CheckEvery > 0 {
 		check.Attach(sys, check.Options{Every: c.CheckEvery})
 	}

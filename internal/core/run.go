@@ -1,0 +1,233 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/dueling"
+	"repro/internal/hier"
+	"repro/internal/hybrid"
+	"repro/internal/metrics"
+	"repro/internal/shard"
+)
+
+// RunHandle wraps a built simulation — sequential or set-sharded,
+// selected by Config.Shards — behind one uniform surface, so callers that
+// drive long runs (the simd job daemon, cmd/hybridsim) need a single code
+// path for both engines. Close must be called when done; it releases the
+// sharded engine's worker goroutines and is a no-op for the sequential
+// system.
+type RunHandle struct {
+	cfg    Config
+	sys    *hier.System  // front-end (the engine's front for sharded runs)
+	engine *shard.Engine // non-nil when the sharded engine is driving
+}
+
+// NewRunHandle builds the simulation the config describes: the classic
+// sequential system for Shards <= 1, the set-sharded parallel engine
+// otherwise (bit-identical by PR 4's equivalence proof).
+func (c Config) NewRunHandle() (*RunHandle, error) {
+	if c.Shards > 1 {
+		e, err := c.BuildEngine()
+		if err != nil {
+			return nil, err
+		}
+		return &RunHandle{cfg: c, sys: e.System(), engine: e}, nil
+	}
+	sys, err := c.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &RunHandle{cfg: c, sys: sys}, nil
+}
+
+// NewRunHandleFromPrograms builds a sequential handle over caller-supplied
+// per-core programs (trace replays). The sharded engine constructs its
+// own per-shard stimulus, so Shards > 1 is rejected here.
+func (c Config) NewRunHandleFromPrograms(progs []hier.Program) (*RunHandle, error) {
+	if c.Shards > 1 {
+		return nil, fmt.Errorf("core: trace-driven programs replay through the sequential engine; got %d shards", c.Shards)
+	}
+	sys, err := c.BuildFromPrograms(progs)
+	if err != nil {
+		return nil, err
+	}
+	return &RunHandle{cfg: c, sys: sys}, nil
+}
+
+// Close releases the handle's resources (the sharded engine's workers).
+func (h *RunHandle) Close() {
+	if h.engine != nil {
+		h.engine.Close()
+	}
+}
+
+// Config returns the config the handle was built from.
+func (h *RunHandle) Config() Config { return h.cfg }
+
+// System returns the hierarchy front-end (the engine's front system when
+// sharded); its registry and epoch ring carry the run's telemetry.
+func (h *RunHandle) System() *hier.System { return h.sys }
+
+// Sharded reports whether the set-sharded engine is driving.
+func (h *RunHandle) Sharded() bool { return h.engine != nil }
+
+// EpochRing returns the per-epoch sample ring of the run.
+func (h *RunHandle) EpochRing() *metrics.EpochRing { return h.sys.EpochRing() }
+
+// PolicyName names the insertion policy the handle simulates.
+func (h *RunHandle) PolicyName() string {
+	if h.engine != nil {
+		return h.engine.PolicyName()
+	}
+	return h.sys.LLC().Policy().Name()
+}
+
+// Capacity returns the NVM part's current effective capacity fraction.
+func (h *RunHandle) Capacity() float64 {
+	if h.engine != nil {
+		return h.engine.EffectiveCapacityFraction()
+	}
+	return h.sys.LLC().EffectiveCapacityFraction()
+}
+
+// PreAge wears the NVM array to the target capacity fraction (PreAge /
+// PreAgeEngine depending on the engine kind).
+func (h *RunHandle) PreAge(targetCapacity float64) {
+	if h.engine != nil {
+		PreAgeEngine(h.engine, targetCapacity)
+		return
+	}
+	PreAge(h.sys, targetCapacity)
+}
+
+// DuelingWinner returns the set-dueling controller's current winner, when
+// the policy uses one.
+func (h *RunHandle) DuelingWinner() (int, bool) {
+	var d *dueling.Controller
+	var ok bool
+	if h.engine != nil {
+		d, ok = h.engine.Dueling()
+	} else {
+		d, ok = Dueling(h.sys)
+	}
+	if !ok {
+		return 0, false
+	}
+	return d.Winner(), true
+}
+
+// RunHooks observe a windowed run while it executes. Both callbacks fire
+// on the simulation goroutine between run chunks — an epoch at most after
+// the event they report — and must not block for long.
+type RunHooks struct {
+	// OnEpoch receives each newly closed epoch sample, in order, exactly
+	// once (including warm-up epochs). The simd daemon streams these to
+	// live clients.
+	OnEpoch func(metrics.Sample)
+	// OnProgress reports cycles completed out of the total requested
+	// window (warm-up + measurement).
+	OnProgress func(done, total uint64)
+}
+
+// MeasureCtx is the cancellable, observable form of Measure: it warms the
+// simulation up and measures a window, running in epoch-sized chunks so
+// the context is honoured and the hooks fire at epoch boundaries. The
+// chunking is invisible to the result — the scheduler steps the
+// furthest-behind core against absolute cycle targets, so the step
+// sequence, and therefore the summary, is bit-identical to the one-shot
+// Measure (pinned by TestMeasureCtxMatchesMeasure). On cancellation the
+// context error is returned and the simulation stops at the next chunk
+// boundary with its state intact (checkpoint-cancel).
+func (h *RunHandle) MeasureCtx(ctx context.Context, warmupCycles, measureCycles uint64, hooks RunHooks) (Summary, error) {
+	total := warmupCycles + measureCycles
+	start := h.sys.Now()
+	ring := h.sys.EpochRing()
+	seen := ring.Total()
+	emit := func() {
+		if hooks.OnEpoch != nil {
+			if t := ring.Total(); t > seen {
+				samples := ring.Samples()
+				n := t - seen
+				if n > len(samples) {
+					n = len(samples) // ring overwrote part of the backlog
+				}
+				for _, s := range samples[len(samples)-n:] {
+					hooks.OnEpoch(s)
+				}
+				seen = t
+			}
+		}
+		if hooks.OnProgress != nil {
+			// The scheduler can overshoot a chunk target by a few cycles;
+			// clamp so the final report is exactly total/total.
+			done := h.sys.Now() - start
+			if done > total {
+				done = total
+			}
+			hooks.OnProgress(done, total)
+		}
+	}
+	chunk := h.sys.Config().EpochCycles
+	runTo := func(target uint64) error {
+		for {
+			now := h.sys.Now()
+			if now >= target {
+				return nil
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			step := chunk
+			if remaining := target - now; step > remaining {
+				step = remaining
+			}
+			h.sys.Run(step)
+			emit()
+		}
+	}
+
+	if err := runTo(h.sys.Now() + warmupCycles); err != nil {
+		return Summary{}, err
+	}
+
+	// Measured window: bracket the chunked runs with a registry snapshot
+	// and per-core instruction/cycle marks, mirroring what hier.Run does
+	// internally for a single window.
+	cores := h.sys.Cores()
+	insts0 := make([]uint64, len(cores))
+	cycles0 := make([]uint64, len(cores))
+	for i, c := range cores {
+		insts0[i], cycles0[i] = c.Insts(), c.Cycles()
+	}
+	before := h.sys.Metrics().Snapshot()
+	if err := runTo(h.sys.Now() + measureCycles); err != nil {
+		return Summary{}, err
+	}
+	delta := h.sys.Metrics().Snapshot().Delta(before)
+
+	var sum float64
+	for i, c := range cores {
+		ipc := 0.0
+		if d := c.Cycles() - cycles0[i]; d > 0 {
+			ipc = float64(c.Insts()-insts0[i]) / float64(d)
+		}
+		sum += ipc
+	}
+	st := hybrid.StatsFromSnapshot(delta)
+	return Summary{
+		Policy:          h.PolicyName(),
+		MeanIPC:         sum / float64(len(cores)),
+		HitRate:         st.HitRate(),
+		Hits:            st.Hits,
+		Misses:          st.Misses,
+		NVMBytesWritten: st.NVMBytesWritten,
+		NVMBlockWrites:  st.NVMBlockWrites,
+		SRAMHits:        st.SRAMHits,
+		NVMHits:         st.NVMHits,
+		Inserts:         st.Inserts,
+		Migrations:      st.Migrations,
+		Capacity:        h.Capacity(),
+		Metrics:         delta,
+	}, nil
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// summariesBitIdentical compares every summary field, floats by bit
+// pattern — the chunked MeasureCtx must not merely approximate the
+// one-shot Measure, it must reproduce it exactly.
+func summariesBitIdentical(t *testing.T, want, got Summary) {
+	t.Helper()
+	if want.Policy != got.Policy {
+		t.Errorf("policy %q != %q", got.Policy, want.Policy)
+	}
+	floats := [][2]float64{
+		{want.MeanIPC, got.MeanIPC},
+		{want.HitRate, got.HitRate},
+		{want.Capacity, got.Capacity},
+	}
+	for _, f := range floats {
+		if math.Float64bits(f[0]) != math.Float64bits(f[1]) {
+			t.Errorf("float mismatch: want %v got %v", f[0], f[1])
+		}
+	}
+	counts := [][2]uint64{
+		{want.Hits, got.Hits},
+		{want.Misses, got.Misses},
+		{want.SRAMHits, got.SRAMHits},
+		{want.NVMHits, got.NVMHits},
+		{want.Inserts, got.Inserts},
+		{want.Migrations, got.Migrations},
+		{want.NVMBlockWrites, got.NVMBlockWrites},
+		{want.NVMBytesWritten, got.NVMBytesWritten},
+	}
+	for i, c := range counts {
+		if c[0] != c[1] {
+			t.Errorf("counter %d: want %d got %d", i, c[0], c[1])
+		}
+	}
+}
+
+// TestMeasureCtxMatchesMeasure pins the determinism claim the simd
+// result cache and the chunked-run hooks rest on: running the window in
+// epoch-sized chunks with cancellation checks produces a bit-identical
+// summary to the one-shot Measure. The window deliberately does not
+// divide evenly into QuickConfig's epoch size.
+func TestMeasureCtxMatchesMeasure(t *testing.T) {
+	const warmup, measure = 300_000, 1_100_000
+	cfg := QuickConfig()
+
+	sys, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Measure(sys, warmup, measure)
+
+	h, err := cfg.NewRunHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	got, err := h.MeasureCtx(context.Background(), warmup, measure, RunHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	summariesBitIdentical(t, want, got)
+}
+
+// TestMeasureCtxShardedMatches runs the same check through the sharded
+// engine handle: the chunked MeasureCtx must reproduce the one-shot
+// MeasureEngine bit for bit. (The engine is its own reference — its
+// router answers front-end accesses as misses, so engine timing is
+// deliberately a different, N-invariant model from the sequential
+// system's; PR 4's equivalence holds across shard counts, not across
+// engine kinds.)
+func TestMeasureCtxShardedMatches(t *testing.T) {
+	const warmup, measure = 300_000, 1_100_000
+	cfg := QuickConfig()
+	cfg.Shards = 2
+
+	e, err := cfg.BuildEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MeasureEngine(e, warmup, measure)
+	e.Close()
+
+	h, err := cfg.NewRunHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if !h.Sharded() {
+		t.Fatal("expected the sharded engine")
+	}
+	got, err := h.MeasureCtx(context.Background(), warmup, measure, RunHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	summariesBitIdentical(t, want, got)
+}
+
+func TestMeasureCtxHooks(t *testing.T) {
+	cfg := QuickConfig() // 500k-cycle epochs
+	h, err := cfg.NewRunHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	var epochs []int
+	var lastDone, lastTotal uint64
+	_, err = h.MeasureCtx(context.Background(), 200_000, 1_300_000, RunHooks{
+		OnEpoch:    func(s metrics.Sample) { epochs = append(epochs, s.Epoch) },
+		OnProgress: func(done, total uint64) { lastDone, lastTotal = done, total },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1.5M cycles of 500k-cycle epochs close at least 2 epochs (the last
+	// partial epoch stays open).
+	if len(epochs) < 2 {
+		t.Fatalf("want >= 2 epoch callbacks, got %d (%v)", len(epochs), epochs)
+	}
+	for i := 1; i < len(epochs); i++ {
+		if epochs[i] != epochs[i-1]+1 {
+			t.Fatalf("epoch sequence not contiguous: %v", epochs)
+		}
+	}
+	if lastTotal != 1_500_000 || lastDone != lastTotal {
+		t.Fatalf("final progress %d/%d, want %d/%d", lastDone, lastTotal, lastTotal, lastTotal)
+	}
+}
+
+func TestMeasureCtxCancellation(t *testing.T) {
+	cfg := QuickConfig()
+	h, err := cfg.NewRunHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	fired := 0
+	_, err = h.MeasureCtx(ctx, 0, 50_000_000, RunHooks{
+		OnEpoch: func(metrics.Sample) {
+			fired++
+			if fired == 2 {
+				cancel() // checkpoint-cancel mid-run
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	now := h.System().Now()
+	if now == 0 || now >= 50_000_000 {
+		t.Fatalf("expected a partial run, stopped at cycle %d", now)
+	}
+
+	// A pre-canceled context stops before simulating anything further.
+	before := h.System().Now()
+	if _, err := h.MeasureCtx(ctx, 0, 1_000_000, RunHooks{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if h.System().Now() != before {
+		t.Fatalf("pre-canceled run advanced the clock %d -> %d", before, h.System().Now())
+	}
+}

@@ -26,9 +26,16 @@ func SnapshotTable(title string, s metrics.Snapshot) *Table {
 // retained sample (oldest first) with the epoch index, its closing cycle
 // and the ring's columns.
 func SeriesTable(title string, ring *metrics.EpochRing) *Table {
-	cols := append([]string{"epoch", "cycles"}, ring.Columns()...)
+	return SamplesTable(title, ring.Columns(), ring.Samples())
+}
+
+// SamplesTable renders epoch samples that have left their ring — a copy
+// held by a completed simd job, say — as the same time-series table
+// SeriesTable produces, so cached results re-render byte-identically.
+func SamplesTable(title string, columns []string, samples []metrics.Sample) *Table {
+	cols := append([]string{"epoch", "cycles"}, columns...)
 	t := New(title, cols...)
-	for _, s := range ring.Samples() {
+	for _, s := range samples {
 		row := make([]interface{}, 0, len(cols))
 		row = append(row, s.Epoch, s.Cycles)
 		for _, v := range s.Values {

@@ -1,0 +1,53 @@
+package server
+
+import "sync"
+
+// resultCache is the content-addressed result store: cache key (the
+// SHA-256 of the canonical simulation inputs, see JobRequest.CacheKey) →
+// completed Result. Entries are immutable, so hits hand out the shared
+// pointer. Eviction is FIFO by insertion order — the daemon's working
+// sets are parameter sweeps that rarely revisit old points, so recency
+// tracking buys nothing over the simpler bound.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*Result
+	order   []string
+}
+
+// newResultCache builds a cache bounded to capacity entries; a
+// non-positive capacity disables caching entirely.
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, entries: make(map[string]*Result)}
+}
+
+func (c *resultCache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.entries[key]
+	return r, ok
+}
+
+func (c *resultCache) put(key string, r *Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[key]; dup {
+		return
+	}
+	for len(c.entries) >= c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = r
+	c.order = append(c.order, key)
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

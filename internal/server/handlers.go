@@ -1,0 +1,370 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/hier"
+	"repro/internal/metrics"
+	"repro/internal/report"
+)
+
+// maxBodyBytes bounds a submission body; configs are small JSON
+// documents, so anything past this is a client error.
+const maxBodyBytes = 1 << 20
+
+// NewHandler builds the daemon's HTTP surface over a manager:
+//
+//	POST /v1/jobs             submit a run (202; 200 on a cache hit)
+//	GET  /v1/jobs             list job statuses
+//	GET  /v1/jobs/{id}        status + report (JSON/CSV/text negotiated)
+//	GET  /v1/jobs/{id}/report the bare report artifact, byte-identical
+//	                          to the equivalent cmd/hybridsim output
+//	GET  /v1/jobs/{id}/epochs live epoch stream (NDJSON; SSE negotiated)
+//	GET  /healthz             liveness + drain state
+//	GET  /metrics             manager operational metrics
+//
+// Every request is wrapped in structured logging on log (nil discards).
+func NewHandler(m *Manager, log *slog.Logger) http.Handler {
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &apiServer{m: m, log: log}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/jobs/{id}/epochs", s.handleEpochs)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.logging(mux)
+}
+
+type apiServer struct {
+	m   *Manager
+	log *slog.Logger
+}
+
+// statusWriter captures the status and byte count for request logging.
+// Unwrap exposes the underlying writer so http.NewResponseController can
+// still reach Flush through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// logging wraps a handler with structured request logs.
+func (s *apiServer) logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.log.Info("request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "bytes", sw.bytes,
+			"duration", time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// wireFormat negotiates the report encoding: an explicit ?format= wins,
+// then the Accept header, defaulting to JSON.
+func wireFormat(r *http.Request) (report.Format, error) {
+	switch q := r.URL.Query().Get("format"); q {
+	case "json":
+		return report.JSON, nil
+	case "csv":
+		return report.CSV, nil
+	case "text":
+		return report.Text, nil
+	case "":
+	default:
+		return report.JSON, fmt.Errorf("unknown format %q (want json, csv or text)", q)
+	}
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, "text/csv"):
+		return report.CSV, nil
+	case strings.Contains(accept, "text/plain"):
+		return report.Text, nil
+	default:
+		return report.JSON, nil
+	}
+}
+
+func contentType(f report.Format) string {
+	switch f {
+	case report.CSV:
+		return "text/csv; charset=utf-8"
+	case report.Text:
+		return "text/plain; charset=utf-8"
+	default:
+		return "application/json"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// jobReport renders a completed job through the shared cliutil.RunReport,
+// so every encoding is byte-identical to the equivalent cmd/hybridsim
+// invocation.
+func jobReport(j *Job) *report.Report {
+	res := j.Result()
+	req := j.Request()
+	opt := cliutil.RunReportOptions{CPthWinner: res.CPthWinner, Metrics: req.Metrics}
+	if req.Epochs {
+		opt.Epochs = res.Epochs
+	}
+	return cliutil.RunReport(req.Config, res.Summary, opt)
+}
+
+func (s *apiServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	req, err := DecodeJobRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.m.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID())
+	if j.State() == StateCompleted { // cache hit: the result is ready now
+		writeJSON(w, http.StatusOK, s.jobResponse(j))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *apiServer) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.m.Jobs()
+	statuses := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		statuses[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+// jobResponse assembles the JSON body for a job, embedding the rendered
+// report once completed.
+func (s *apiServer) jobResponse(j *Job) JobResponse {
+	resp := JobResponse{JobStatus: j.Status()}
+	if resp.State == StateCompleted {
+		var buf bytes.Buffer
+		if err := jobReport(j).WriteJSON(&buf); err == nil {
+			resp.Report = json.RawMessage(buf.Bytes())
+		}
+	}
+	return resp
+}
+
+func (s *apiServer) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.m.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	f, err := wireFormat(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if f == report.JSON {
+		writeJSON(w, http.StatusOK, s.jobResponse(j))
+		return
+	}
+	// CSV/text carry only the final report; an unfinished job gets a
+	// plain 202 status line instead.
+	st := j.Status()
+	if st.State != StateCompleted {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if st.State.Terminal() {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintf(w, "job %s %s: %s\n", st.ID, st.State, st.Error)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, "job %s %s (%d/%d cycles)\n", st.ID, st.State, st.ProgressCycles, st.TotalCycles)
+		return
+	}
+	w.Header().Set("Content-Type", contentType(f))
+	jobReport(j).Write(w, f)
+}
+
+// handleReport serves a completed job's report with no envelope: the
+// bytes on the wire are exactly what cliutil.RunReport renders, so every
+// format — JSON included — is byte-identical to the same run through
+// cmd/hybridsim. (The JSON envelope at GET /v1/jobs/{id} embeds the same
+// report, but the encoder re-indents it to the envelope's depth.)
+func (s *apiServer) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.m.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	f, err := wireFormat(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if st := j.Status(); st.State != StateCompleted {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s, no report yet", st.ID, st.State))
+		return
+	}
+	w.Header().Set("Content-Type", contentType(f))
+	jobReport(j).Write(w, f)
+}
+
+// epochLine renders one sample as a single-line JSON object with values
+// keyed by column, in column order (hand-built so the order is stable).
+func epochLine(columns []string, s metrics.Sample) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"epoch":%d,"cycles":%d,"values":{`, s.Epoch, s.Cycles)
+	for i, c := range columns {
+		if i >= len(s.Values) {
+			break
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := []byte("null")
+		if f := s.Values[i]; !math.IsNaN(f) && !math.IsInf(f, 0) {
+			v, _ = json.Marshal(f)
+		}
+		fmt.Fprintf(&b, `"%s":%s`, c, v)
+	}
+	b.WriteString("}}")
+	return b.Bytes()
+}
+
+// handleEpochs streams a job's epoch series live: NDJSON by default,
+// server-sent events when the client asks for text/event-stream. The
+// stream replays every recorded epoch, follows the run until it reaches
+// a terminal state, then ends.
+func (s *apiServer) handleEpochs(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.m.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	columns := hier.EpochColumns
+	sent := 0
+	for {
+		samples, notify, terminal := j.epochsAfter(sent)
+		for _, sample := range samples {
+			line := epochLine(columns, sample)
+			if sse {
+				fmt.Fprintf(w, "data: %s\n\n", line)
+			} else {
+				w.Write(line)
+				w.Write([]byte("\n"))
+			}
+			sent++
+		}
+		rc.Flush()
+		if terminal && len(samples) == 0 {
+			if sse {
+				fmt.Fprintf(w, "event: done\ndata: %q\n\n", string(j.State()))
+				rc.Flush()
+			}
+			return
+		}
+		if len(samples) > 0 {
+			continue // drain everything pending before blocking
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-notify:
+		}
+	}
+}
+
+func (s *apiServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.m.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+func (s *apiServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	f, err := wireFormat(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if f == report.JSON && r.URL.Query().Get("format") == "" &&
+		!strings.Contains(r.Header.Get("Accept"), "application/json") {
+		f = report.Text // /metrics defaults to the text table
+	}
+	rep := report.NewReport("simd metrics")
+	rep.AddTable(report.SnapshotTable("server", s.m.Registry().Snapshot()))
+	w.Header().Set("Content-Type", contentType(f))
+	rep.Write(w, f)
+}

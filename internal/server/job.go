@@ -1,0 +1,201 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Result is everything a completed run leaves behind: the measured
+// summary, the retained epoch series, and the set-dueling winner
+// (negative for non-dueling policies). Results are immutable once
+// published, so the cache and late readers share them freely.
+type Result struct {
+	Summary    core.Summary
+	Epochs     []metrics.Sample
+	CPthWinner int
+}
+
+// Job is one queued simulation run. All mutable state sits behind the
+// mutex; readers get consistent copies and live epoch followers block on
+// a closed-and-replaced notify channel.
+type Job struct {
+	id        string
+	req       JobRequest
+	cacheKey  string
+	submitted time.Time
+	cancel    context.CancelFunc
+
+	mu       sync.Mutex
+	state    JobState
+	started  time.Time
+	finished time.Time
+	done     uint64
+	total    uint64
+	epochs   []metrics.Sample
+	notify   chan struct{}
+	result   *Result
+	err      error
+	cacheHit bool
+}
+
+func newJob(id string, req JobRequest) *Job {
+	return &Job{
+		id:        id,
+		req:       req,
+		cacheKey:  req.CacheKey(),
+		submitted: time.Now(),
+		state:     StateQueued,
+		total:     req.WarmupCycles + req.MeasureCycles,
+		notify:    make(chan struct{}),
+	}
+}
+
+// newCachedJob returns an already-completed job serving a cached result.
+func newCachedJob(id string, req JobRequest, res *Result) *Job {
+	j := newJob(id, req)
+	j.state = StateCompleted
+	j.started, j.finished = j.submitted, j.submitted
+	j.done = j.total
+	j.epochs = res.Epochs
+	j.result = res
+	j.cacheHit = true
+	close(j.notify)
+	return j
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Request returns the submission the job runs.
+func (j *Job) Request() JobRequest { return j.req }
+
+// CacheKey returns the content address of the job's result.
+func (j *Job) CacheKey() string { return j.cacheKey }
+
+// wake closes and replaces the notify channel, releasing every follower.
+// Callers hold j.mu.
+func (j *Job) wake() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// markRunning transitions queued → running; it reports false when the
+// job is already terminal (e.g. canceled before a worker claimed it).
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.wake()
+	return true
+}
+
+// addEpoch appends a newly closed epoch sample (a RunHooks.OnEpoch
+// callback) and wakes streaming followers.
+func (j *Job) addEpoch(s metrics.Sample) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.epochs = append(j.epochs, s)
+	j.wake()
+}
+
+// setProgress records cycles simulated so far (RunHooks.OnProgress).
+func (j *Job) setProgress(done, total uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done, j.total = done, total
+}
+
+// finish moves the job to a terminal state. The final epoch series is
+// replaced by the result's (ring-bounded) series on success so polls and
+// streams agree with what the report renders.
+func (j *Job) finish(state JobState, res *Result, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.finished = time.Now()
+	if j.started.IsZero() {
+		j.started = j.finished
+	}
+	j.result = res
+	j.err = err
+	if res != nil {
+		j.done = j.total
+		j.epochs = res.Epochs
+	}
+	j.wake()
+}
+
+// Result returns the completed result, or nil while the job is not
+// successfully finished.
+func (j *Job) Result() *Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Err returns the job's terminal error, if any.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Status snapshots the job for the wire.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:             j.id,
+		State:          j.state,
+		SubmittedAt:    j.submitted,
+		ProgressCycles: j.done,
+		TotalCycles:    j.total,
+		Epochs:         len(j.epochs),
+		CacheHit:       j.cacheHit,
+		CacheKey:       j.cacheKey,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// epochsAfter returns the epoch samples recorded after the first n, a
+// channel that closes on the next state change, and whether the job is
+// terminal. Streaming handlers loop on it: drain the new samples, then
+// either stop (terminal, nothing pending) or block on the channel.
+func (j *Job) epochsAfter(n int) ([]metrics.Sample, <-chan struct{}, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []metrics.Sample
+	if n < len(j.epochs) {
+		out = append(out, j.epochs[n:]...)
+	}
+	return out, j.notify, j.state.Terminal()
+}

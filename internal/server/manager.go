@@ -1,0 +1,338 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Submission failure modes, mapped to HTTP statuses by the handlers
+// (429 with Retry-After, and 503 respectively).
+var (
+	ErrQueueFull = errors.New("server: job queue full")
+	ErrDraining  = errors.New("server: draining, not accepting jobs")
+)
+
+// Options tune a Manager. The zero value picks sensible daemon defaults.
+type Options struct {
+	// Workers caps concurrently running simulations; <= 0 uses
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running; a full queue
+	// rejects submissions with ErrQueueFull (backpressure, not
+	// buffering). <= 0 defaults to 64.
+	QueueDepth int
+	// JobTimeout cancels a run that exceeds it (checkpoint-cancel at the
+	// next epoch boundary); 0 disables the deadline.
+	JobTimeout time.Duration
+	// CacheSize bounds the content-addressed result cache; <= 0 uses 256.
+	// Use NoCache to disable caching.
+	CacheSize int
+	// Logger receives structured job lifecycle events; nil discards them.
+	Logger *slog.Logger
+}
+
+// NoCache as Options.CacheSize disables the result cache.
+const NoCache = -1
+
+// Manager owns the job queue, the worker pool and the result cache.
+// Every simulation runs behind cliutil's recover barrier, so a panicking
+// run becomes a failed job record instead of a dead daemon.
+type Manager struct {
+	opts       Options
+	log        *slog.Logger
+	cache      *resultCache
+	queue      chan *Job
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	wg         sync.WaitGroup
+	reg        *metrics.Registry
+
+	mu       sync.Mutex // guards jobs/order/draining/seq and queue sends vs close
+	jobs     map[string]*Job
+	order    []string
+	draining bool
+	seq      uint64
+
+	submitted    atomic.Uint64
+	completed    atomic.Uint64
+	failed       atomic.Uint64
+	canceled     atomic.Uint64
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	queueRejects atomic.Uint64
+	running      atomic.Int64
+
+	// beforeRun, when set, runs on the worker goroutine after a job is
+	// claimed and before it simulates. Tests use it to hold a worker busy
+	// deterministically (queue-full and drain scenarios).
+	beforeRun func(*Job)
+}
+
+// NewManager starts a manager: its workers are live and pulling from the
+// queue when it returns. Stop it with Drain (graceful) or Close.
+func NewManager(opts Options) *Manager {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	cacheSize := opts.CacheSize
+	switch {
+	case cacheSize == NoCache:
+		cacheSize = 0
+	case cacheSize <= 0:
+		cacheSize = 256
+	}
+	log := opts.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:       opts,
+		log:        log,
+		cache:      newResultCache(cacheSize),
+		queue:      make(chan *Job, opts.QueueDepth),
+		rootCtx:    ctx,
+		rootCancel: cancel,
+		jobs:       make(map[string]*Job),
+	}
+	m.reg = metrics.NewRegistry()
+	counter := func(name string, v *atomic.Uint64) {
+		m.reg.CounterFunc(name, v.Load)
+	}
+	counter("server.jobs.submitted", &m.submitted)
+	counter("server.jobs.completed", &m.completed)
+	counter("server.jobs.failed", &m.failed)
+	counter("server.jobs.canceled", &m.canceled)
+	counter("server.cache.hits", &m.cacheHits)
+	counter("server.cache.misses", &m.cacheMisses)
+	counter("server.queue.rejects", &m.queueRejects)
+	m.reg.GaugeFunc("server.queue.depth", func() float64 { return float64(len(m.queue)) })
+	m.reg.GaugeFunc("server.jobs.running", func() float64 { return float64(m.running.Load()) })
+	m.reg.GaugeFunc("server.cache.entries", func() float64 { return float64(m.cache.len()) })
+	m.wg.Add(opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Registry exposes the manager's operational metrics (the /metrics
+// endpoint snapshots it).
+func (m *Manager) Registry() *metrics.Registry { return m.reg }
+
+// Draining reports whether the manager has stopped accepting jobs.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Job looks a job up by ID.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Submit validates nothing (callers decode+validate the request) and
+// enqueues a job, serving it straight from the result cache when the
+// content address hits. ErrQueueFull and ErrDraining report backpressure
+// and shutdown respectively.
+func (m *Manager) Submit(req JobRequest) (*Job, error) {
+	key := req.CacheKey()
+	if res, ok := m.cache.get(key); ok {
+		m.mu.Lock()
+		if m.draining {
+			m.mu.Unlock()
+			return nil, ErrDraining
+		}
+		j := newCachedJob(m.nextIDLocked(), req, res)
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		m.mu.Unlock()
+		m.submitted.Add(1)
+		m.cacheHits.Add(1)
+		m.log.Info("job cache hit", "job", j.id, "key", key)
+		return j, nil
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	j := newJob(m.nextIDLocked(), req)
+	select {
+	case m.queue <- j:
+	default:
+		m.seq-- // ID not spent
+		m.mu.Unlock()
+		m.queueRejects.Add(1)
+		m.log.Warn("job rejected: queue full", "depth", cap(m.queue))
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.mu.Unlock()
+	m.submitted.Add(1)
+	m.cacheMisses.Add(1)
+	m.log.Info("job queued", "job", j.id, "key", key,
+		"policy", j.req.Config.PolicyName, "mix", j.req.Config.MixID+1)
+	return j, nil
+}
+
+// nextIDLocked mints the next job ID; the caller holds m.mu.
+func (m *Manager) nextIDLocked() string {
+	m.seq++
+	return fmt.Sprintf("job-%06d", m.seq)
+}
+
+// Drain stops accepting submissions, lets queued and running jobs finish,
+// and returns when the workers are idle. If ctx expires first the
+// remaining jobs are canceled (they stop at the next epoch boundary) and
+// Drain still waits for the workers to observe that before returning the
+// context error.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.rootCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close shuts the manager down without grace: in-flight jobs are
+// canceled at their next epoch boundary. Safe to call after Drain.
+func (m *Manager) Close() {
+	m.rootCancel()
+	m.Drain(context.Background())
+}
+
+// worker pulls jobs until the queue is closed and drained.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// runJob executes one job behind the recover barrier and publishes its
+// terminal state.
+func (m *Manager) runJob(j *Job) {
+	if hook := m.beforeRun; hook != nil {
+		hook(j)
+	}
+	if !j.markRunning() {
+		return
+	}
+	m.running.Add(1)
+	defer m.running.Add(-1)
+
+	ctx := m.rootCtx
+	cancel := context.CancelFunc(func() {})
+	if m.opts.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, m.opts.JobTimeout)
+	}
+	defer cancel()
+	j.cancel = cancel
+
+	var res *Result
+	outcome := cliutil.RunTask(cliutil.Task{
+		Name: j.id,
+		Run: func() error {
+			r, err := m.simulate(ctx, j)
+			res = r
+			return err
+		},
+	}, 0)
+
+	err := outcome.Err
+	switch {
+	case err == nil:
+		j.finish(StateCompleted, res, nil)
+		m.cache.put(j.cacheKey, res)
+		m.completed.Add(1)
+		m.log.Info("job completed", "job", j.id,
+			"mean_ipc", res.Summary.MeanIPC, "epochs", len(res.Epochs))
+	case errors.Is(err, context.Canceled):
+		j.finish(StateCanceled, nil, err)
+		m.canceled.Add(1)
+		m.log.Info("job canceled", "job", j.id)
+	case errors.Is(err, context.DeadlineExceeded):
+		j.finish(StateFailed, nil, fmt.Errorf("job timeout %v exceeded", m.opts.JobTimeout))
+		m.failed.Add(1)
+		m.log.Warn("job timed out", "job", j.id, "timeout", m.opts.JobTimeout)
+	default:
+		j.finish(StateFailed, nil, err)
+		m.failed.Add(1)
+		m.log.Error("job failed", "job", j.id, "err", err, "panicked", outcome.Panicked)
+	}
+}
+
+// simulate builds and measures the job's run, streaming epochs and
+// progress into the job as it goes.
+func (m *Manager) simulate(ctx context.Context, j *Job) (*Result, error) {
+	h, err := j.req.Config.NewRunHandle()
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	if j.req.Capacity < 1 {
+		h.PreAge(j.req.Capacity)
+	}
+	sum, err := h.MeasureCtx(ctx, j.req.WarmupCycles, j.req.MeasureCycles, core.RunHooks{
+		OnEpoch:    j.addEpoch,
+		OnProgress: j.setProgress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	winner := -1
+	if w, ok := h.DuelingWinner(); ok {
+		winner = w
+	}
+	return &Result{
+		Summary:    sum,
+		Epochs:     h.EpochRing().Samples(),
+		CPthWinner: winner,
+	}, nil
+}
