@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check ci race-shard race-server shard-smoke fuzz-smoke serve server-smoke faultstudy bench bench-parallel bench-go bench-figures validate experiments clean
+.PHONY: all build test vet lint fmt-check ci race-shard race-server shard-smoke fuzz-smoke serve server-smoke tournament-smoke faultstudy bench bench-parallel bench-go bench-figures validate experiments clean
 
 all: build vet test
 
@@ -11,6 +11,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static-analysis gate: vet always, staticcheck when the toolchain has
+# it (CI installs it; a bare container skips it rather than failing).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go vet ran)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -22,12 +31,13 @@ fmt-check:
 	fi
 
 # Mirrors .github/workflows/ci.yml so the same gate runs locally.
-ci: fmt-check vet build
+ci: fmt-check lint build
 	$(GO) test -race ./...
 	$(MAKE) race-shard
 	$(MAKE) shard-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) server-smoke
+	$(MAKE) tournament-smoke
 	$(GO) run ./cmd/faultstudy -quick
 	$(MAKE) bench
 	$(MAKE) bench-parallel
@@ -85,6 +95,19 @@ server-smoke:
 	[ "$$hit" = true ] || { echo "resubmission was not a cache hit"; exit 1; }; \
 	echo "server-smoke: job $$id completed, $$epochs epochs streamed, cache hit on resubmit"
 
+# Tournament smoke: the policy league table on the quick preset, run
+# twice — the standings must be byte-identical (league determinism is an
+# acceptance guarantee, not a best effort).
+tournament-smoke:
+	@$(GO) run ./cmd/tournament -quick > tournament-smoke-1.txt
+	@$(GO) run ./cmd/tournament -quick > tournament-smoke-2.txt
+	@diff tournament-smoke-1.txt tournament-smoke-2.txt \
+		|| { echo "tournament league table is nondeterministic"; exit 1; }
+	@grep -q "standings" tournament-smoke-1.txt \
+		|| { echo "tournament output lacks the standings table"; exit 1; }
+	@rm -f tournament-smoke-1.txt tournament-smoke-2.txt
+	@echo "tournament-smoke: deterministic league table"
+
 # Deterministic fault-injection degradation study (quick preset).
 faultstudy:
 	$(GO) run ./cmd/faultstudy -quick
@@ -131,4 +154,4 @@ experiments:
 	$(GO) run ./cmd/energy     -mixes 1,4,6,8           > results/energy.txt
 
 clean:
-	rm -f test_output.txt bench_output.txt BENCH_hotpath.json BENCH_parallel.json simd-smoke
+	rm -f test_output.txt bench_output.txt BENCH_hotpath.json BENCH_parallel.json simd-smoke tournament-smoke-1.txt tournament-smoke-2.txt

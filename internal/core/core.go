@@ -17,7 +17,6 @@ import (
 	"repro/internal/hybrid"
 	"repro/internal/metrics"
 	"repro/internal/nvm"
-	"repro/internal/policy"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -81,6 +80,15 @@ type Config struct {
 	// selection.
 	NVMRRIP bool `json:"nvm_rrip"`
 
+	// Tournament declares the bracket the TOURNAMENT policy runs: an
+	// N-way generalization of the paper's set dueling where each
+	// candidate is a whole insertion policy (plus optional per-candidate
+	// CPth) sampled on its own share of sets. nil selects
+	// DefaultTournament; ignored by every other policy. The pointer is
+	// omitted from the canonical form when nil, so pre-tournament cache
+	// keys and golden configs are unchanged.
+	Tournament *TournamentConfig `json:"tournament,omitempty"`
+
 	// LLCBanks is the number of address-interleaved LLC banks whose
 	// data-array occupancy is modelled (Table IV: 4). 0 disables bank
 	// contention.
@@ -141,45 +149,6 @@ func QuickConfig() Config {
 	c.L2SizeKB = 64
 	c.EpochCycles = 500_000
 	return c
-}
-
-// Policies lists the selectable policy names in presentation order.
-func Policies() []string {
-	return []string{"SRAM16", "SRAM4", "BH", "BH_CP", "CA", "CA_RWR", "CP_SD", "CP_SD_Th", "LHybrid", "TAP"}
-}
-
-// buildPolicy resolves the policy name into a policy value, a threshold
-// provider (nil when not applicable) and the LLC way split.
-func (c Config) buildPolicy() (hybrid.Policy, hybrid.ThresholdProvider, int, int, error) {
-	sram, nvmW := c.SRAMWays, c.NVMWays
-	switch c.PolicyName {
-	case "SRAM16":
-		return policy.SRAMOnly{}, nil, sram + nvmW, 0, nil
-	case "SRAM4":
-		return policy.SRAMOnly{}, nil, sram, 0, nil
-	case "BH":
-		return policy.BH{}, nil, sram, nvmW, nil
-	case "BH_CP":
-		return policy.BHCP{}, nil, sram, nvmW, nil
-	case "CA":
-		return policy.CA{}, hybrid.FixedThreshold(c.CPth), sram, nvmW, nil
-	case "CA_RWR":
-		return policy.CARWR{NoMigration: c.AblationNoMigration},
-			hybrid.FixedThreshold(c.CPth), sram, nvmW, nil
-	case "CP_SD":
-		return policy.CARWR{PolicyName: "CP_SD", NoMigration: c.AblationNoMigration},
-			dueling.New(c.LLCSets, 0, 0), sram, nvmW, nil
-	case "CP_SD_Th":
-		name := fmt.Sprintf("CP_SD_Th%g", c.Th)
-		return policy.CARWR{PolicyName: name, NoMigration: c.AblationNoMigration},
-			dueling.New(c.LLCSets, c.Th, c.Tw), sram, nvmW, nil
-	case "LHybrid":
-		return policy.LHybrid{}, nil, sram, nvmW, nil
-	case "TAP":
-		return policy.TAP{HThresh: 1}, nil, sram, nvmW, nil
-	default:
-		return nil, nil, 0, 0, fmt.Errorf("core: unknown policy %q (valid: %v)", c.PolicyName, Policies())
-	}
 }
 
 // Latencies derives the hierarchy latencies from the config, applying the

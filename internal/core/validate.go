@@ -38,13 +38,16 @@ func (c Config) Validate() error {
 	} else if c.L2SizeKB*1024/(c.L2Ways*64) < 1 {
 		bad("L2 of %d KB cannot hold %d ways of 64B blocks", c.L2SizeKB, c.L2Ways)
 	}
-	if !validPolicy(c.PolicyName) {
+	spec, known := specOf(c.PolicyName)
+	if !known {
 		bad("unknown policy %q (valid: %v)", c.PolicyName, Policies())
 	}
-	switch c.PolicyName {
-	case "CA", "CA_RWR":
-		if c.CPth < 1 || c.CPth > 64 {
-			bad("CPth %d outside [1,64]", c.CPth)
+	if known && spec.UsesCPth && (c.CPth < 1 || c.CPth > 64) {
+		bad("CPth %d outside [1,64]", c.CPth)
+	}
+	if c.PolicyName == "TOURNAMENT" && c.Tournament != nil {
+		if err := c.validateTournament(c.Tournament); err != nil {
+			errs = append(errs, err)
 		}
 	}
 	if c.Th < 0 || c.Tw < 0 {
@@ -83,13 +86,4 @@ func (c Config) Validate() error {
 		}
 	}
 	return errors.Join(errs...)
-}
-
-func validPolicy(name string) bool {
-	for _, p := range Policies() {
-		if p == name {
-			return true
-		}
-	}
-	return false
 }

@@ -1,0 +1,119 @@
+package dueling
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Differential proof that the N-way tournament subsumes the legacy CPth
+// dueling path: a 2-candidate tournament whose candidates carry the same
+// CPth values must be bit-exact with NewWithCandidates on the same event
+// stream — same per-set thresholds after every epoch, same winner
+// history — both sequentially and with the stream sharded by set and
+// folded through MergeFrom/AdoptWinner.
+
+// lcg is a tiny deterministic generator so the vote stream is fixed.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r) >> 33
+}
+
+func TestTwoCandidateTournamentMatchesLegacySequential(t *testing.T) {
+	const sets = 128
+	for _, params := range []struct{ th, tw float64 }{{0, 0}, {4, 5}} {
+		legacy := NewWithCandidates(sets, []int{44, 58}, params.th, params.tw)
+		tourn := NewTournament(sets, []Candidate{
+			{Name: "CA_RWR@44", CPth: 44, Payload: 0},
+			{Name: "CA_RWR@58", CPth: 58, Payload: 1},
+		}, 0, params.th, params.tw)
+
+		rng := lcg(9)
+		for epoch := 0; epoch < 20; epoch++ {
+			for i := 0; i < 4000; i++ {
+				set := int(rng.next() % sets)
+				switch rng.next() % 3 {
+				case 0:
+					legacy.RecordHit(set)
+					tourn.RecordHit(set)
+				default:
+					n := int(rng.next() % 80)
+					legacy.RecordNVMBytes(set, n)
+					tourn.RecordNVMBytes(set, n)
+				}
+			}
+			legacy.EndEpoch()
+			tourn.EndEpoch()
+			for s := 0; s < sets; s++ {
+				if legacy.CPthFor(s) != tourn.CPthFor(s) {
+					t.Fatalf("th=%v: epoch %d set %d: legacy CPth %d, tournament %d",
+						params.th, epoch, s, legacy.CPthFor(s), tourn.CPthFor(s))
+				}
+			}
+			if legacy.WinnerIndex() != tourn.WinnerIndex() {
+				t.Fatalf("th=%v: epoch %d: winner index %d vs %d",
+					params.th, epoch, legacy.WinnerIndex(), tourn.WinnerIndex())
+			}
+		}
+		if !reflect.DeepEqual(legacy.History, tourn.History) {
+			t.Fatalf("th=%v: history diverged:\nlegacy %v\ntourn  %v", params.th, legacy.History, tourn.History)
+		}
+	}
+}
+
+func TestTwoCandidateTournamentMatchesLegacySharded(t *testing.T) {
+	const sets = 128
+	newTourn := func() *Controller {
+		return NewTournament(sets, []Candidate{
+			{Name: "CA_RWR@44", CPth: 44, Payload: 0},
+			{Name: "CA_RWR@58", CPth: 58, Payload: 1},
+		}, 0, 4, 5)
+	}
+	for _, shards := range []int{1, 2, 3, 8} {
+		global := newTourn()
+		locals := make([]*Controller, shards)
+		for i := range locals {
+			locals[i] = newTourn()
+		}
+		ref := NewWithCandidates(sets, []int{44, 58}, 4, 5)
+		shardOf := func(set int) int { return set * shards / sets }
+
+		rng := lcg(9)
+		for epoch := 0; epoch < 12; epoch++ {
+			for i := 0; i < 4000; i++ {
+				set := int(rng.next() % sets)
+				l := locals[shardOf(set)]
+				switch rng.next() % 3 {
+				case 0:
+					ref.RecordHit(set)
+					l.RecordHit(set)
+				default:
+					n := int(rng.next() % 80)
+					ref.RecordNVMBytes(set, n)
+					l.RecordNVMBytes(set, n)
+				}
+			}
+			// Epoch barrier: merge in ascending shard order, close the
+			// global epoch, adopt the winner everywhere.
+			for _, l := range locals {
+				global.MergeFrom(l)
+			}
+			ref.EndEpoch()
+			global.EndEpoch()
+			for _, l := range locals {
+				l.AdoptWinner(global)
+			}
+			// Every shard's view of every owned set must match the
+			// sequential legacy controller.
+			for s := 0; s < sets; s++ {
+				if got, want := locals[shardOf(s)].CPthFor(s), ref.CPthFor(s); got != want {
+					t.Fatalf("shards=%d epoch %d set %d: CPth %d, want %d", shards, epoch, s, got, want)
+				}
+			}
+		}
+		if !reflect.DeepEqual(global.History, ref.History) {
+			t.Fatalf("shards=%d: history diverged:\nref   %v\ntourn %v", shards, ref.History, global.History)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package dueling
+
+import (
+	"reflect"
+	"testing"
+)
+
+// N-way tournament counterpart of merge_test.go: opaque candidates
+// (several sharing one CPth, distinguished only by index/payload) are
+// voted on across shard controllers, merged at the barrier, and must
+// select exactly the winner a sequential controller picks from the
+// combined stream — under max-hits, its tie-break, and the Th/Tw rule.
+
+func policyCands() []Candidate {
+	return []Candidate{
+		{Name: "CA_RWR", CPth: 58, Payload: 0},
+		{Name: "SRRIP", CPth: 58, Payload: 1},
+		{Name: "BRRIP", CPth: 58, Payload: 2},
+		{Name: "PAR", CPth: 58, Payload: 3},
+	}
+}
+
+func TestTournamentMergeMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name    string
+		th, tw  float64
+		hits    []uint64
+		bytes   []uint64
+		wantIdx int // expected winning candidate index after EndEpoch
+	}{
+		{
+			name: "plain max hits",
+			hits: []uint64{5, 17, 9, 3}, bytes: []uint64{100, 100, 100, 100},
+			wantIdx: 1,
+		},
+		{
+			name: "tie breaks to lowest index",
+			hits: []uint64{7, 12, 12, 4}, bytes: []uint64{0, 0, 0, 0},
+			wantIdx: 1,
+		},
+		{
+			name: "all zero votes keep candidate 0",
+			hits: []uint64{0, 0, 0, 0}, bytes: []uint64{0, 0, 0, 0},
+			wantIdx: 0,
+		},
+		{
+			name: "Th rule trades hits for byte reduction",
+			th:   10, tw: 20,
+			// Best hits: index 2. Index 0 keeps >90% of its hits and cuts
+			// bytes by >20% -> lowest qualifying index wins.
+			hits: []uint64{95, 80, 100, 60}, bytes: []uint64{500, 900, 1000, 400},
+			wantIdx: 0,
+		},
+		{
+			name: "Th rule falls back to plain winner",
+			th:   4, tw: 5,
+			hits: []uint64{50, 60, 100, 70}, bytes: []uint64{990, 980, 1000, 995},
+			wantIdx: 2,
+		},
+	}
+	for _, tc := range cases {
+		for _, shards := range []int{1, 2, 3, 8} {
+			seq := NewTournament(96, policyCands(), 0, tc.th, tc.tw)
+			seq.AddVotes(tc.hits, tc.bytes)
+			seq.EndEpoch()
+
+			global := NewTournament(96, policyCands(), 0, tc.th, tc.tw)
+			locals := make([]*Controller, shards)
+			hParts := splitVotes(tc.hits, shards)
+			bParts := splitVotes(tc.bytes, shards)
+			for i := range locals {
+				locals[i] = NewTournament(96, policyCands(), 0, tc.th, tc.tw)
+				locals[i].AddVotes(hParts[i], bParts[i])
+			}
+			for _, l := range locals {
+				global.MergeFrom(l)
+			}
+			global.EndEpoch()
+			for _, l := range locals {
+				l.AdoptWinner(global)
+			}
+
+			if got := global.WinnerIndex(); got != tc.wantIdx {
+				t.Errorf("%s/%d shards: merged winner index %d, want %d", tc.name, shards, got, tc.wantIdx)
+			}
+			if got, want := global.WinnerIndex(), seq.WinnerIndex(); got != want {
+				t.Errorf("%s/%d shards: merged winner %d != sequential %d", tc.name, shards, got, want)
+			}
+			if !reflect.DeepEqual(global.IdxHistory, seq.IdxHistory) {
+				t.Errorf("%s/%d shards: idx history %v != sequential %v", tc.name, shards, global.IdxHistory, seq.IdxHistory)
+			}
+			for i, l := range locals {
+				// Follower sets everywhere must resolve to the global
+				// winner; set 95 is a follower (95 % 32 = 31 > #cands).
+				if got, want := l.CandidateFor(95), seq.CandidateFor(95); got != want {
+					t.Errorf("%s/%d shards: shard %d follower candidate %d, want %d", tc.name, shards, i, got, want)
+				}
+				if h, b := l.OpenVoteTotals(); h != 0 || b != 0 {
+					t.Errorf("%s/%d shards: shard %d retains open votes (%d hits, %d bytes)", tc.name, shards, i, h, b)
+				}
+			}
+		}
+	}
+}
+
+func TestTournamentSamplerAssignment(t *testing.T) {
+	c := NewTournament(96, policyCands(), 0, 0, 0)
+	if c.Divisor() != GroupDivisor {
+		t.Fatalf("divisor %d, want default %d", c.Divisor(), GroupDivisor)
+	}
+	for set := 0; set < 96; set++ {
+		g := set % GroupDivisor
+		idx, sampler := c.IsSampler(set)
+		if g < 4 {
+			if !sampler || idx != g {
+				t.Fatalf("set %d: sampler (%d,%v), want (%d,true)", set, idx, sampler, g)
+			}
+			if c.CandidateFor(set) != g {
+				t.Fatalf("set %d resolves to %d, want pinned candidate %d", set, c.CandidateFor(set), g)
+			}
+		} else if sampler {
+			t.Fatalf("set %d should be a follower", set)
+		}
+	}
+	// Followers track the initial winner (last candidate) and the adopted
+	// one after an epoch.
+	if c.CandidateFor(95) != 3 {
+		t.Fatalf("initial follower candidate %d, want 3 (permissive start)", c.CandidateFor(95))
+	}
+	c.AddVotes([]uint64{9, 1, 1, 1}, []uint64{0, 0, 0, 0})
+	c.EndEpoch()
+	if c.CandidateFor(95) != 0 {
+		t.Fatalf("follower candidate %d after epoch, want 0", c.CandidateFor(95))
+	}
+	if c.WinnerCandidate().Name != "CA_RWR" {
+		t.Fatalf("winner descriptor %+v", c.WinnerCandidate())
+	}
+}
+
+func TestTournamentCustomDivisor(t *testing.T) {
+	// Divisor 8: each candidate samples on 1/8 of the sets.
+	c := NewTournament(64, policyCands(), 8, 0, 0)
+	if c.Divisor() != 8 {
+		t.Fatalf("divisor %d", c.Divisor())
+	}
+	for k := 0; k < 4; k++ {
+		if n := c.SamplerSets(k); n != 8 {
+			t.Fatalf("candidate %d samples %d sets, want 8", k, n)
+		}
+	}
+}
+
+func TestTournamentDuplicateCPthAllowed(t *testing.T) {
+	// Policy tournaments legitimately share one CPth across candidates —
+	// only the legacy ascending-CPth constructor forbids duplicates.
+	c := NewTournament(64, []Candidate{{Name: "A", CPth: 58}, {Name: "B", CPth: 58}}, 0, 0, 0)
+	if c.CPthFor(0) != 58 || c.CPthFor(1) != 58 {
+		t.Fatal("shared CPth not honoured")
+	}
+}
+
+func TestTournamentPanicsOnBadArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted more candidates than divisor classes")
+		}
+	}()
+	NewTournament(64, policyCands(), 2, 0, 0)
+}
+
+func TestLegacyConstructorsAreTournaments(t *testing.T) {
+	// New == NewWithCandidates(DefaultCandidates) == the 10-way tournament.
+	c := New(128, 0, 0)
+	list := c.CandidateList()
+	if len(list) != len(DefaultCandidates) {
+		t.Fatalf("%d candidates, want %d", len(list), len(DefaultCandidates))
+	}
+	for i, cd := range list {
+		if cd.CPth != DefaultCandidates[i] || cd.Payload != i {
+			t.Fatalf("candidate %d = %+v", i, cd)
+		}
+	}
+	if got := c.Winner(); got != 64 {
+		t.Fatalf("initial winner %d, want permissive 64", got)
+	}
+}

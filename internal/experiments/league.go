@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// LeagueSpecs builds one forecast spec per registered policy name, for
+// the tournament league table. Unlike the fixed Fig-10 curve set, any
+// registry policy qualifies — including the RRIP family and the
+// tournament meta-policies — so the league grows automatically with the
+// registry.
+func LeagueSpecs(names []string) ([]ForecastSpec, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("empty league")
+	}
+	valid := core.Policies()
+	specs := make([]ForecastSpec, 0, len(names))
+	for _, name := range names {
+		ok := false
+		for _, p := range valid {
+			if p == name {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("unknown policy %q (valid: %v)", name, valid)
+		}
+		name := name
+		specs = append(specs, ForecastSpec{Label: name, Mutate: func(c *core.Config) {
+			c.PolicyName = name
+		}})
+	}
+	return specs, nil
+}
+
+// DefaultLeague is the standings the tournament command contests by
+// default: the paper's dueling baseline against the whole RRIP-family
+// substrate and both tournament meta-policies.
+func DefaultLeague() []string {
+	return []string{"CP_SD", "CA_RWR", "SRRIP", "BRRIP", "PAR", "DRRIP", "TOURNAMENT"}
+}
+
+// LeagueRow is one line of the ranked standings.
+type LeagueRow struct {
+	Rank   int
+	Policy string
+	// MeanLifetimeMonths and CensoredMixes aggregate the lifetime axis;
+	// InitialIPC the performance axis (young-cache across-mix mean).
+	MeanLifetimeMonths float64
+	CensoredMixes      int
+	InitialIPC         float64
+	// NormIPC is InitialIPC over the league's best InitialIPC.
+	NormIPC float64
+}
+
+// RankLeague orders the forecasts into standings: longest mean lifetime
+// first (censored-everywhere entries, whose lifetime is unbounded below,
+// outrank finite ones; more censored mixes break lifetime ties), then
+// higher initial IPC, then name for stability. IPC is normalised to the
+// league's best.
+func RankLeague(fs []PolicyForecast) []LeagueRow {
+	rows := make([]LeagueRow, len(fs))
+	best := 0.0
+	for i, pf := range fs {
+		rows[i] = LeagueRow{
+			Policy:             pf.Label,
+			MeanLifetimeMonths: pf.MeanLifetimeMonths,
+			CensoredMixes:      pf.CensoredMixes,
+			InitialIPC:         pf.InitialIPC,
+		}
+		if pf.InitialIPC > best {
+			best = pf.InitialIPC
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		li, lj := rows[i].MeanLifetimeMonths, rows[j].MeanLifetimeMonths
+		switch {
+		case li != lj: // +Inf compares equal to itself, so this also orders Inf > finite
+			return li > lj
+		case rows[i].CensoredMixes != rows[j].CensoredMixes:
+			return rows[i].CensoredMixes > rows[j].CensoredMixes
+		case rows[i].InitialIPC != rows[j].InitialIPC:
+			return rows[i].InitialIPC > rows[j].InitialIPC
+		default:
+			return rows[i].Policy < rows[j].Policy
+		}
+	})
+	for i := range rows {
+		rows[i].Rank = i + 1
+		rows[i].NormIPC = NormalizeTo(rows[i].InitialIPC, best)
+	}
+	return rows
+}

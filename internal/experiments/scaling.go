@@ -43,7 +43,13 @@ func DefaultShardCounts() []int {
 // carries the same digest — it is the bench's built-in equivalence
 // witness, checked by ScalingEquivalent and asserted in CI.
 type ScalingRow struct {
-	Shards      int
+	Shards int
+	// Gomaxprocs is the GOMAXPROCS the row actually ran under: the
+	// shards=1 baseline is pinned to 1 (a genuinely serial reference),
+	// every parallel row gets the machine's full width. Recording it per
+	// row keeps the scaling claim honest — a curve whose parallel rows
+	// say gomaxprocs=1 measured goroutine overhead, not speedup.
+	Gomaxprocs  int
 	Accesses    uint64
 	WallNs      int64
 	NsPerAccess float64
@@ -68,12 +74,19 @@ func ParallelScalingBench(opt ScalingOptions) ([]ScalingRow, error) {
 		return nil, fmt.Errorf("experiments: scaling bench needs a measure window")
 	}
 	rows := make([]ScalingRow, 0, len(shards))
+	fullProcs := runtime.GOMAXPROCS(0)
 	var baseWall int64
 	for _, n := range shards {
+		procs := fullProcs
+		if n == 1 {
+			procs = 1
+		}
+		prev := runtime.GOMAXPROCS(procs)
 		cfg := opt.Base
 		cfg.Shards = n
 		e, err := cfg.BuildEngine()
 		if err != nil {
+			runtime.GOMAXPROCS(prev)
 			return nil, fmt.Errorf("experiments: shards=%d: %w", n, err)
 		}
 		e.Run(opt.Warmup)
@@ -83,10 +96,12 @@ func ParallelScalingBench(opt ScalingOptions) ([]ScalingRow, error) {
 		wall := time.Since(start).Nanoseconds()
 		digest := e.FaultDigest()
 		e.Close()
+		runtime.GOMAXPROCS(prev)
 
 		accesses := r.LLC.GetS + r.LLC.GetX
 		row := ScalingRow{
 			Shards:      n,
+			Gomaxprocs:  procs,
 			Accesses:    accesses,
 			WallNs:      wall,
 			MeanIPC:     r.MeanIPC,
@@ -133,10 +148,10 @@ func ParallelScalingReport(opt ScalingOptions, rows []ScalingRow) *report.Report
 	rep.AddField("gomaxprocs", runtime.GOMAXPROCS(0))
 	rep.AddField("digests_equivalent", ScalingEquivalent(rows))
 	tab := report.New("parallel",
-		"shards", "accesses", "wall_ns", "ns_per_access",
+		"shards", "gomaxprocs", "accesses", "wall_ns", "ns_per_access",
 		"speedup", "mean_ipc", "hit_rate", "fault_digest")
 	for _, r := range rows {
-		tab.AddRow(r.Shards, report.FormatCount(r.Accesses), r.WallNs,
+		tab.AddRow(r.Shards, r.Gomaxprocs, report.FormatCount(r.Accesses), r.WallNs,
 			r.NsPerAccess, r.Speedup, r.MeanIPC, r.HitRate, r.FaultDigest)
 	}
 	rep.AddTable(tab)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
@@ -32,6 +33,15 @@ func TestParallelScalingBench(t *testing.T) {
 		}
 		if r.Accesses != rows[0].Accesses {
 			t.Errorf("shards=%d: %d accesses, want %d (identical simulation)", r.Shards, r.Accesses, rows[0].Accesses)
+		}
+		// The serial baseline is pinned to one proc; parallel rows get the
+		// machine's full width.
+		want := runtime.GOMAXPROCS(0)
+		if r.Shards == 1 {
+			want = 1
+		}
+		if r.Gomaxprocs != want {
+			t.Errorf("shards=%d: ran at gomaxprocs %d, want %d", r.Shards, r.Gomaxprocs, want)
 		}
 	}
 	rep := ParallelScalingReport(opt, rows)

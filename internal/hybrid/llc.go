@@ -130,6 +130,8 @@ type LLC struct {
 	noGetXInval             bool
 	data                    *dataStore
 	nvmRepl                 Replacement
+	resolver                SetPolicyResolver // non-nil for tournament meta-policies
+	polRRIP                 RRIPInserter      // non-nil when pol itself is RRIP-family
 	reg                     *metrics.Registry
 	// capScratch caches each way's effective capacity for the duration of
 	// one victim-selection pass, so the fit-check loops resolve each frame
@@ -180,6 +182,8 @@ func New(cfg Config) *LLC {
 		nvmRepl:     cfg.NVMReplacement,
 		capScratch:  make([]int, cfg.SRAMWays+cfg.NVMWays),
 	}
+	l.resolver, _ = cfg.Policy.(SetPolicyResolver)
+	l.polRRIP, _ = cfg.Policy.(RRIPInserter)
 	if cfg.NVMWays > 0 {
 		l.arr = nvm.NewArray(cfg.Sets, cfg.NVMWays, cfg.Endurance, cfg.Sampler, cfg.Policy.Granularity())
 	}
@@ -223,6 +227,26 @@ func (l *LLC) CompressionEnabled() bool { return l.pol.Compressed() }
 func (l *LLC) SetOf(block uint64) int { return int(block % uint64(l.sets)) }
 
 func (l *LLC) ways() int { return l.sramWays + l.nvmWays }
+
+// policyFor resolves the policy governing a set: the tournament
+// candidate assigned to (or adopted by) the set for meta-policies, the
+// configured policy otherwise. Every per-insert decision goes through it.
+func (l *LLC) policyFor(set int) Policy {
+	if l.resolver != nil {
+		return l.resolver.PolicyFor(set)
+	}
+	return l.pol
+}
+
+// rripFor returns the RRIP inserter governing a set, nil when the set's
+// policy is not RRIP-family.
+func (l *LLC) rripFor(set int) RRIPInserter {
+	if l.resolver != nil {
+		ri, _ := l.resolver.PolicyFor(set).(RRIPInserter)
+		return ri
+	}
+	return l.polRRIP
+}
 
 func (l *LLC) entryAt(set, way int) *entry { return &l.entries[set*l.ways()+way] }
 
@@ -369,15 +393,16 @@ func (l *LLC) Insert(block uint64, dirty bool, tag BlockTag, content []byte) Ins
 // insertFresh runs the policy's steering decision and places a block that
 // is not currently in the LLC.
 func (l *LLC) insertFresh(set int, block uint64, dirty bool, tag BlockTag, cb int, content []byte) {
-	info := InsertInfo{Set: set, Dirty: dirty, CBSize: cb, Tag: tag}
-	if l.pol.UsesThreshold() {
+	pol := l.policyFor(set)
+	info := InsertInfo{Set: set, Block: block, Dirty: dirty, CBSize: cb, Tag: tag}
+	if pol.UsesThreshold() {
 		info.CPth = l.thr.CPthFor(set)
 	}
 	if l.pol.Global() {
 		l.insertGlobal(set, block, dirty, tag, cb, content)
 		return
 	}
-	if l.pol.Target(info) == NVM && l.nvmWays > 0 {
+	if pol.Target(info) == NVM && l.nvmWays > 0 {
 		if l.insertNVM(set, block, dirty, tag, cb, content) {
 			return
 		}
@@ -431,9 +456,13 @@ func (l *LLC) insertNVM(set int, block uint64, dirty bool, tag BlockTag, cb int,
 	if victim < 0 {
 		return false
 	}
+	rrpv := uint8(2) // SRRIP "long" insertion, the FitRRIP default
+	if ri := l.rripFor(set); ri != nil {
+		rrpv = ri.InsertRRPV(InsertInfo{Set: set, Block: block, Dirty: dirty, CBSize: cb, Tag: tag, CPth: l.thr.CPthFor(set)})
+	}
 	l.evict(set, victim)
 	e := l.entryAt(set, victim)
-	*e = entry{valid: true, dirty: dirty, block: block, cb: uint8(cb), tag: tag, rrpv: 2}
+	*e = entry{valid: true, dirty: dirty, block: block, cb: uint8(cb), tag: tag, rrpv: rrpv}
 	l.touch(e)
 	l.Stats.NVMInserts++
 	l.recordNVMWrite(set, l.frameOf(set, victim), cb)
@@ -455,8 +484,8 @@ func (l *LLC) nvmCaps(set int) []int {
 // chooseNVMVictim picks the NVM way to fill for a cb-sized block, or -1
 // when no frame fits.
 func (l *LLC) chooseNVMVictim(set, cb int) int {
-	switch l.nvmRepl {
-	case FitRRIP:
+	switch {
+	case l.nvmRepl == FitRRIP || l.rripFor(set) != nil:
 		return l.chooseNVMVictimRRIP(set, cb)
 	default:
 		caps := l.nvmCaps(set)
@@ -531,13 +560,14 @@ func (l *LLC) insertSRAM(set int, block uint64, dirty bool, tag BlockTag, cb int
 		}
 	}
 	if way < 0 {
+		pol := l.policyFor(set)
 		way = l.chooseSRAMVictim(set)
 		v := l.entryAt(set, way)
 		migrated := false
 		switch {
-		case l.pol.LHybridMigrate() && v.tag.LB:
+		case pol.LHybridMigrate() && v.tag.LB:
 			migrated = l.migrate(set, way)
-		case l.pol.MigrateReadReuse() && v.tag.Reuse == ReuseRead:
+		case pol.MigrateReadReuse() && v.tag.Reuse == ReuseRead:
 			migrated = l.migrate(set, way)
 		}
 		if !migrated {
@@ -555,7 +585,7 @@ func (l *LLC) insertSRAM(set int, block uint64, dirty bool, tag BlockTag, cb int
 // recent loop-block is preferred (it is migrated, not evicted); otherwise
 // the LRU way is chosen.
 func (l *LLC) chooseSRAMVictim(set int) int {
-	if l.pol.LHybridMigrate() {
+	if l.policyFor(set).LHybridMigrate() {
 		best, bestTick := -1, uint64(0)
 		for w := 0; w < l.sramWays; w++ {
 			e := l.entryAt(set, w)

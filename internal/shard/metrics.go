@@ -71,6 +71,7 @@ func (r *Router) buildRegistry() {
 	if r.globalCtrl != nil {
 		ctrl := r.globalCtrl
 		reg.GaugeFunc("dueling.cpth", func() float64 { return float64(ctrl.Winner()) })
+		reg.GaugeFunc("dueling.winner_idx", func() float64 { return float64(ctrl.WinnerIndex()) })
 		reg.CounterFunc("dueling.epochs", func() uint64 { return uint64(len(ctrl.History)) })
 		// Open (intra-epoch) votes live in the shard controllers until
 		// the epoch barrier folds them into the global one.

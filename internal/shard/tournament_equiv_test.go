@@ -1,0 +1,79 @@
+package shard_test
+
+// Tournament differential suite: the N-way policy tournament must (a)
+// subsume the legacy CP_SD dueling path bit for bit when its bracket is
+// CA_RWR at the legacy CPth candidates, and (b) stay bit-identical
+// across shard counts and run-to-run for genuinely heterogeneous
+// brackets (DRRIP's SRRIP-vs-BRRIP duel, the default mixed bracket with
+// per-set RRIP and phase-detector state). CI runs this under -race.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dueling"
+)
+
+// legacyBracket rebuilds the paper's CPth candidate list as a TOURNAMENT
+// bracket: one CA_RWR candidate per legacy threshold.
+func legacyBracket() *core.TournamentConfig {
+	tc := &core.TournamentConfig{}
+	for _, cpth := range dueling.DefaultCandidates {
+		tc.Candidates = append(tc.Candidates, core.TournamentCandidate{Policy: "CA_RWR", CPth: cpth})
+	}
+	return tc
+}
+
+// TestTournamentSubsumesLegacyCPSD is the full-stack differential: a
+// TOURNAMENT whose candidates are CA_RWR at the legacy CPth list must
+// reproduce the CP_SD engine bit for bit — every counter, gauge, epoch
+// sample, fault digest and capacity — at every shard count. The two
+// builds share nothing above the dueling substrate: CP_SD goes through
+// the classic top-level-policy path (nil resolver), the tournament
+// through per-set resolution.
+func TestTournamentSubsumesLegacyCPSD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is not short")
+	}
+	ref := runEngine(t, equivConfig("CP_SD", 0, 1, 96, 1))
+	for _, shards := range []int{1, 2, 3, 8} {
+		cfg := equivConfig("TOURNAMENT", 0, 1, 96, shards)
+		cfg.Tournament = legacyBracket()
+		cfg.Th, cfg.Tw = 0, 0 // CP_SD selects on hits alone
+		got := runEngine(t, cfg)
+		compareStates(t, ref, got, shards)
+	}
+}
+
+// TestTournamentShardEquivalence pins the acceptance guarantee for
+// heterogeneous brackets: DRRIP (canned SRRIP-vs-BRRIP) and the default
+// TOURNAMENT bracket (CA_RWR/SRRIP/BRRIP/PAR, with BRRIP's per-set
+// insertion counters and PAR's phase detector in play) are bit-identical
+// across shard counts {1, 2, 3, 8}.
+func TestTournamentShardEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is not short")
+	}
+	for _, policy := range []string{"DRRIP", "TOURNAMENT"} {
+		ref := runEngine(t, equivConfig(policy, 3, 7, 96, 1))
+		for _, shards := range []int{2, 3, 8} {
+			got := runEngine(t, equivConfig(policy, 3, 7, 96, shards))
+			t.Run("", func(t *testing.T) {
+				t.Logf("policy=%s shards=%d", policy, shards)
+				compareStates(t, ref, got, shards)
+			})
+		}
+	}
+}
+
+// TestTournamentRunToRunDeterminism re-runs the same sharded tournament
+// twice; the engine must be deterministic, not merely equivalent.
+func TestTournamentRunToRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double run is not short")
+	}
+	cfg := equivConfig("TOURNAMENT", 6, 42, 128, 8)
+	a := runEngine(t, cfg)
+	b := runEngine(t, cfg)
+	compareStates(t, a, b, 8)
+}
