@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint fmt-check ci race-shard race-server shard-smoke fuzz-smoke serve server-smoke tournament-smoke faultstudy bench bench-parallel bench-go bench-figures validate experiments clean
+.PHONY: all build test vet lint fmt-check ci race-shard race-server shard-smoke fuzz-smoke serve server-smoke recovery-smoke tournament-smoke faultstudy bench bench-parallel bench-go bench-figures validate experiments clean
 
 all: build vet test
 
@@ -37,6 +37,7 @@ ci: fmt-check lint build
 	$(MAKE) shard-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) server-smoke
+	$(MAKE) recovery-smoke
 	$(MAKE) tournament-smoke
 	$(GO) run ./cmd/faultstudy -quick
 	$(MAKE) bench
@@ -59,6 +60,7 @@ shard-smoke:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzBDIRoundTrip$$' -fuzztime=10s ./internal/bdi
 	$(GO) test -run='^$$' -fuzz='^FuzzTraceParse$$' -fuzztime=10s ./internal/trace
+	$(GO) test -run='^$$' -fuzz='^FuzzSweepSpecDecode$$' -fuzztime=10s ./internal/server
 
 # Run the simulation daemon on :8080 (see README for the curl quickstart).
 serve:
@@ -94,6 +96,50 @@ server-smoke:
 		| sed -n 's/.*"cache_hit": *\(true\|false\).*/\1/p' | head -1); \
 	[ "$$hit" = true ] || { echo "resubmission was not a cache hit"; exit 1; }; \
 	echo "server-smoke: job $$id completed, $$epochs epochs streamed, cache hit on resubmit"
+
+# Crash-recovery smoke: boot simd with a durable data directory, submit
+# a four-child sweep, SIGKILL the daemon once at least one child has
+# completed, restart it over the same directory, and require the sweep
+# to finish with every child completed — the survivors served from
+# artifacts (cache hits), the interrupted ones re-executed.
+RECOVERY_ADDR = 127.0.0.1:18081
+RECOVERY_SWEEP = {"base":{"config":{"llc_sets":256,"scale":0.15,"l2_size_kb":64,"epoch_cycles":200000},"warmup_cycles":100000,"measure_cycles":2000000},"axes":[{"field":"policy","values":["CA","CA_RWR"]},{"field":"cpth","values":[30,40]}],"concurrency":1}
+recovery-smoke:
+	@$(GO) build -o simd-recovery ./cmd/simd
+	@rm -rf recovery-smoke-data; \
+	./simd-recovery -addr $(RECOVERY_ADDR) -data recovery-smoke-data >/dev/null 2>&1 & pid=$$!; \
+	trap 'kill -9 $$pid 2>/dev/null; rm -rf simd-recovery recovery-smoke-data' EXIT; \
+	ok=; for i in $$(seq 1 50); do \
+		curl -fs http://$(RECOVERY_ADDR)/healthz >/dev/null 2>&1 && ok=1 && break; sleep 0.1; \
+	done; \
+	[ -n "$$ok" ] || { echo "simd never came up"; exit 1; }; \
+	sid=$$(curl -fs -X POST -d '$(RECOVERY_SWEEP)' http://$(RECOVERY_ADDR)/v1/sweeps \
+		| sed -n 's/.*"id": *"\(sweep-[^"]*\)".*/\1/p' | head -1); \
+	[ -n "$$sid" ] || { echo "sweep submission returned no id"; exit 1; }; \
+	done_n=; for i in $$(seq 1 600); do \
+		done_n=$$(curl -fs http://$(RECOVERY_ADDR)/v1/sweeps/$$sid \
+			| sed -n 's/.*"completed": *\([0-9][0-9]*\).*/\1/p' | head -1); \
+		[ -n "$$done_n" ] && [ "$$done_n" -ge 1 ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$done_n" ] && [ "$$done_n" -ge 1 ] || { echo "no child completed before the kill"; exit 1; }; \
+	kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	./simd-recovery -addr $(RECOVERY_ADDR) -data recovery-smoke-data >/dev/null 2>&1 & pid=$$!; \
+	ok=; for i in $$(seq 1 50); do \
+		curl -fs http://$(RECOVERY_ADDR)/healthz >/dev/null 2>&1 && ok=1 && break; sleep 0.1; \
+	done; \
+	[ -n "$$ok" ] || { echo "simd never came back after the kill"; exit 1; }; \
+	state=; for i in $$(seq 1 600); do \
+		state=$$(curl -fs http://$(RECOVERY_ADDR)/v1/sweeps/$$sid \
+			| sed -n 's/.*"state": *"\([a-z]*\)".*/\1/p' | head -1); \
+		[ "$$state" = completed ] && break; sleep 0.2; \
+	done; \
+	[ "$$state" = completed ] || { echo "resumed sweep ended in state '$$state'"; exit 1; }; \
+	body=$$(curl -fs http://$(RECOVERY_ADDR)/v1/sweeps/$$sid); \
+	completed=$$(echo "$$body" | sed -n 's/.*"completed": *\([0-9][0-9]*\).*/\1/p' | head -1); \
+	hits=$$(echo "$$body" | sed -n 's/.*"cache_hits": *\([0-9][0-9]*\).*/\1/p' | head -1); \
+	[ "$$completed" = 4 ] || { echo "resumed sweep completed $$completed/4 children"; exit 1; }; \
+	[ -n "$$hits" ] && [ "$$hits" -ge 1 ] || { echo "no child was served from artifacts ($$hits hits)"; exit 1; }; \
+	echo "recovery-smoke: sweep $$sid survived SIGKILL ($$done_n done at kill, $$hits artifact hits after restart)"
 
 # Tournament smoke: the policy league table on the quick preset, run
 # twice — the standings must be byte-identical (league determinism is an
@@ -154,4 +200,5 @@ experiments:
 	$(GO) run ./cmd/energy     -mixes 1,4,6,8           > results/energy.txt
 
 clean:
-	rm -f test_output.txt bench_output.txt BENCH_hotpath.json BENCH_parallel.json simd-smoke tournament-smoke-1.txt tournament-smoke-2.txt
+	rm -f test_output.txt bench_output.txt BENCH_hotpath.json BENCH_parallel.json simd-smoke simd-recovery tournament-smoke-1.txt tournament-smoke-2.txt
+	rm -rf recovery-smoke-data

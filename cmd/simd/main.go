@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/jobstore"
 	"repro/internal/server"
 )
 
@@ -35,6 +36,8 @@ func main() {
 	jobTimeout := flag.Duration("jobtimeout", 0, "per-job deadline (0 = none)")
 	cacheSize := flag.Int("cachesize", 256, "result cache entries (0 = disable)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+	data := flag.String("data", "", "durable state directory (journal + artifacts); empty = in-memory only")
+	retries := flag.Int("retries", 0, "re-run attempts for transiently failed jobs (panic/timeout)")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -42,13 +45,30 @@ func main() {
 	if cache <= 0 {
 		cache = server.NoCache
 	}
-	m := server.NewManager(server.Options{
+	var store *jobstore.Store
+	if *data != "" {
+		var err error
+		store, err = jobstore.Open(*data)
+		if err != nil {
+			log.Error("opening data dir", "dir", *data, "err", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		log.Info("durable store open", "dir", *data, "artifacts", store.CountArtifacts())
+	}
+	m, err := server.NewManager(server.Options{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		JobTimeout: *jobTimeout,
 		CacheSize:  cache,
+		Store:      store,
+		Retries:    *retries,
 		Logger:     log,
 	})
+	if err != nil {
+		log.Error("recovering from data dir", "dir", *data, "err", err)
+		os.Exit(1)
+	}
 	srv := &http.Server{Addr: *addr, Handler: server.NewHandler(m, log)}
 
 	errc := make(chan error, 1)

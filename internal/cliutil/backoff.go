@@ -1,0 +1,69 @@
+package cliutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes capped exponential retry delays with full jitter
+// (delay drawn uniformly from [0, min(Max, Base*2^(attempt-1))]), the
+// scheme that decorrelates a thundering herd of retriers. The simd job
+// manager uses it between attempts of a transiently failed job; any
+// sweep driver retrying flaky external work can share it.
+type Backoff struct {
+	// Base is the ceiling of the first retry's delay; <= 0 defaults to
+	// 200ms.
+	Base time.Duration
+	// Max caps the exponential growth; <= 0 defaults to 5s.
+	Max time.Duration
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base <= 0 {
+		return 200 * time.Millisecond
+	}
+	return b.Base
+}
+
+func (b Backoff) max() time.Duration {
+	if b.Max <= 0 {
+		return 5 * time.Second
+	}
+	return b.Max
+}
+
+// Ceiling returns the un-jittered delay bound for the given retry
+// attempt (1-based): min(Max, Base << (attempt-1)), saturating instead
+// of overflowing for large attempts.
+func (b Backoff) Ceiling(attempt int) time.Duration {
+	base, max := b.base(), b.max()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max || d < base { // capped, or overflowed negative
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// Delay returns the jittered delay for the given retry attempt
+// (1-based): a uniform draw from [0, Ceiling(attempt)]. rng is the
+// caller's source — it is not locked here, so serialize access when
+// retries can race. A nil rng falls back to the global source.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	c := b.Ceiling(attempt)
+	if c <= 0 {
+		return 0
+	}
+	if rng == nil {
+		return time.Duration(rand.Int63n(int64(c) + 1))
+	}
+	return time.Duration(rng.Int63n(int64(c) + 1))
+}

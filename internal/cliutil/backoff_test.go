@@ -1,0 +1,74 @@
+package cliutil
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBackoffCeilingDoublesAndCaps(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second}
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 1
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second,
+	}
+	for i, w := range want {
+		if got := b.Ceiling(i + 1); got != w {
+			t.Errorf("Ceiling(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Attempts below 1 clamp to the first ceiling.
+	if got := b.Ceiling(0); got != want[0] {
+		t.Errorf("Ceiling(0) = %v, want %v", got, want[0])
+	}
+}
+
+func TestBackoffCeilingSaturatesWithoutOverflow(t *testing.T) {
+	b := Backoff{Base: time.Hour, Max: 100 * time.Hour}
+	for attempt := 1; attempt < 200; attempt++ {
+		d := b.Ceiling(attempt)
+		if d <= 0 || d > 100*time.Hour {
+			t.Fatalf("Ceiling(%d) = %v out of (0, Max]", attempt, d)
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	if got := b.Ceiling(1); got != 200*time.Millisecond {
+		t.Errorf("default base ceiling = %v", got)
+	}
+	if got := b.Ceiling(20); got != 5*time.Second {
+		t.Errorf("default max ceiling = %v", got)
+	}
+}
+
+func TestBackoffDelayFullJitter(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second}
+	rng := rand.New(rand.NewSource(42))
+	for attempt := 1; attempt <= 8; attempt++ {
+		ceil := b.Ceiling(attempt)
+		for i := 0; i < 100; i++ {
+			d := b.Delay(attempt, rng)
+			if d < 0 || d > ceil {
+				t.Fatalf("Delay(%d) = %v outside [0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+	// The draws must actually spread over the window, not stick to the
+	// ceiling (full jitter, not plain exponential backoff).
+	low := 0
+	for i := 0; i < 200; i++ {
+		if b.Delay(4, rng) < b.Ceiling(4)/2 {
+			low++
+		}
+	}
+	if low == 0 || low == 200 {
+		t.Fatalf("jitter draws not spread: %d/200 below half the ceiling", low)
+	}
+}

@@ -117,7 +117,7 @@ func (h *RunHandle) DuelingWinner() (int, bool) {
 	return d.Winner(), true
 }
 
-// RunHooks observe a windowed run while it executes. Both callbacks fire
+// RunHooks observe a windowed run while it executes. All callbacks fire
 // on the simulation goroutine between run chunks — an epoch at most after
 // the event they report — and must not block for long.
 type RunHooks struct {
@@ -128,6 +128,22 @@ type RunHooks struct {
 	// OnProgress reports cycles completed out of the total requested
 	// window (warm-up + measurement).
 	OnProgress func(done, total uint64)
+	// OnCheckpoint fires after every completed run chunk, once the
+	// chunk's epochs have been delivered — the point at which the run's
+	// observable state (progress, epoch count) is consistent and safe to
+	// persist. The simd job store journals these so a killed daemon
+	// knows how far each job had come; the simulator's bit-exact
+	// determinism means recovery re-executes from the config and
+	// provably re-reaches the same checkpoint.
+	OnCheckpoint func(Checkpoint)
+}
+
+// Checkpoint is a consistent progress mark of a chunked run: the cycles
+// completed of the requested window and the epochs closed so far.
+type Checkpoint struct {
+	Cycles      uint64 // completed cycles of the window (clamped to Total)
+	TotalCycles uint64 // requested window: warm-up + measurement
+	Epochs      int    // epoch samples recorded since the run began
 }
 
 // MeasureCtx is the cancellable, observable form of Measure: it warms the
@@ -144,6 +160,7 @@ func (h *RunHandle) MeasureCtx(ctx context.Context, warmupCycles, measureCycles 
 	start := h.sys.Now()
 	ring := h.sys.EpochRing()
 	seen := ring.Total()
+	epoch0 := seen
 	emit := func() {
 		if hooks.OnEpoch != nil {
 			if t := ring.Total(); t > seen {
@@ -158,14 +175,23 @@ func (h *RunHandle) MeasureCtx(ctx context.Context, warmupCycles, measureCycles 
 				seen = t
 			}
 		}
+		// The scheduler can overshoot a chunk target by a few cycles;
+		// clamp so the final report is exactly total/total.
+		done := h.sys.Now() - start
+		if done > total {
+			done = total
+		}
 		if hooks.OnProgress != nil {
-			// The scheduler can overshoot a chunk target by a few cycles;
-			// clamp so the final report is exactly total/total.
-			done := h.sys.Now() - start
-			if done > total {
-				done = total
-			}
 			hooks.OnProgress(done, total)
+		}
+		if hooks.OnCheckpoint != nil {
+			// After epoch delivery: the checkpoint's epoch count never
+			// runs ahead of what OnEpoch observers have seen.
+			hooks.OnCheckpoint(Checkpoint{
+				Cycles:      done,
+				TotalCycles: total,
+				Epochs:      ring.Total() - epoch0,
+			})
 		}
 	}
 	chunk := h.sys.Config().EpochCycles

@@ -137,6 +137,46 @@ func TestMeasureCtxHooks(t *testing.T) {
 	}
 }
 
+// TestMeasureCtxCheckpoints pins the durable-progress hook the simd job
+// store journals: checkpoints fire per chunk, monotonically, after the
+// chunk's epochs were delivered (the epoch count never runs ahead of
+// OnEpoch), and the final checkpoint reports the full window.
+func TestMeasureCtxCheckpoints(t *testing.T) {
+	cfg := QuickConfig() // 500k-cycle epochs
+	h, err := cfg.NewRunHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	var cps []Checkpoint
+	delivered := 0
+	_, err = h.MeasureCtx(context.Background(), 200_000, 1_300_000, RunHooks{
+		OnEpoch: func(metrics.Sample) { delivered++ },
+		OnCheckpoint: func(cp Checkpoint) {
+			if cp.Epochs > delivered {
+				t.Fatalf("checkpoint claims %d epochs, only %d delivered", cp.Epochs, delivered)
+			}
+			cps = append(cps, cp)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) < 3 {
+		t.Fatalf("want >= 3 checkpoints over a 1.5M-cycle window, got %d", len(cps))
+	}
+	for i := 1; i < len(cps); i++ {
+		if cps[i].Cycles < cps[i-1].Cycles || cps[i].Epochs < cps[i-1].Epochs {
+			t.Fatalf("checkpoints not monotonic: %+v -> %+v", cps[i-1], cps[i])
+		}
+	}
+	last := cps[len(cps)-1]
+	if last.TotalCycles != 1_500_000 || last.Cycles != last.TotalCycles {
+		t.Fatalf("final checkpoint %+v, want %d/%d", last, 1_500_000, 1_500_000)
+	}
+}
+
 func TestMeasureCtxCancellation(t *testing.T) {
 	cfg := QuickConfig()
 	h, err := cfg.NewRunHandle()

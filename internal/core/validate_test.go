@@ -41,6 +41,21 @@ func TestValidateRejections(t *testing.T) {
 		{"nvmlat", func(c *Config) { c.NVMLatencyFactor = -1 }, "latency factor"},
 		{"prefetch", func(c *Config) { c.PrefetchDegree = -1 }, "prefetch"},
 		{"banks", func(c *Config) { c.LLCBanks = -1 }, "bank"},
+		// Upper bounds: out-of-range geometry must fail at the submission
+		// boundary (the simd allowlist hardening), not OOM inside Build.
+		{"llc-sets-huge", func(c *Config) { c.LLCSets = MaxLLCSets + 1 }, "LLC sets"},
+		{"ways-huge", func(c *Config) { c.SRAMWays, c.NVMWays = 100, 100 }, "exceeds"},
+		{"l1-sets-huge", func(c *Config) { c.L1Sets = MaxL1Sets + 1 }, "L1 geometry"},
+		{"l1-ways-huge", func(c *Config) { c.L1Ways = MaxL1Ways + 1 }, "L1 geometry"},
+		{"l2-huge", func(c *Config) { c.L2SizeKB = MaxL2SizeKB + 1 }, "L2 geometry"},
+		{"l2-ways-huge", func(c *Config) { c.L2Ways = MaxL2Ways + 1 }, "L2 geometry"},
+		{"scale-huge", func(c *Config) { c.Scale = MaxScale + 1 }, "scale"},
+		{"epoch-huge", func(c *Config) { c.EpochCycles = MaxEpochCycles + 1 }, "epoch"},
+		{"endurance-huge", func(c *Config) { c.EnduranceMean = 2e18 }, "endurance mean"},
+		{"cv-huge", func(c *Config) { c.EnduranceCV = 11 }, "endurance CV"},
+		{"nvmlat-huge", func(c *Config) { c.NVMLatencyFactor = MaxNVMLatencyFactor + 1 }, "latency factor"},
+		{"prefetch-huge", func(c *Config) { c.PrefetchDegree = MaxPrefetchDegree + 1 }, "prefetch"},
+		{"banks-huge", func(c *Config) { c.LLCBanks = MaxLLCBanks + 1 }, "bank"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

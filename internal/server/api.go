@@ -148,7 +148,17 @@ type JobStatus struct {
 	Epochs   int    `json:"epochs"`
 	CacheHit bool   `json:"cache_hit"`
 	CacheKey string `json:"cache_key"`
-	Error    string `json:"error,omitempty"`
+	// Attempts counts execution attempts (greater than 1 after a
+	// transient failure was retried).
+	Attempts int `json:"attempts,omitempty"`
+	// Sweep and Label identify the owning batch sweep and this child's
+	// position on its axes, for sweep children.
+	Sweep string `json:"sweep,omitempty"`
+	Label string `json:"label,omitempty"`
+	// Recovered marks a job restored from the persistent store's journal
+	// after a daemon restart.
+	Recovered bool   `json:"recovered,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // JobResponse is the GET /v1/jobs/{id} JSON body: the status plus, once

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSweepSpecDecode fuzzes the sweep submission boundary with
+// arbitrary documents: decode + expansion must never panic, and an
+// expansion that succeeds must respect the declared child cap — a
+// hostile spec can be rejected but can never make the daemon queue an
+// unbounded grid.
+func FuzzSweepSpecDecode(f *testing.F) {
+	f.Add(sweepTestBody)
+	f.Add(`{}`)
+	f.Add(`{"axes":[]}`)
+	f.Add(`{"axes":[{"field":"cpth","values":[20,30,40]}]}`)
+	f.Add(`{"axes":[{"field":"policy","values":["CA"]},{"field":"seed","values":[1,2,3]}],"max_children":2}`)
+	f.Add(`{"axes":[{"field":"tournament","values":[{"candidates":[{"policy":"CA","cpth":20}]}]}]}`)
+	f.Add(`{"axes":[{"field":"llc_sets","values":[1048577]}]}`)
+	f.Add(`{"base":{"config":{"policy":"CP_SD"}},"concurrency":-5,"max_children":-1}`)
+	f.Add(`{"axes":[{"field":"cpth","values":[` + strings.Repeat("1,", 2000) + `1]}]}`)
+	f.Add(`{"axes":[{"field":"capacity","values":[0.5,1]},{"field":"shards","values":[0,4]}]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		spec, err := DecodeSweepSpec([]byte(doc))
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		children, err := spec.Expand()
+		if err != nil {
+			return
+		}
+		if len(children) > spec.maxChildren() || len(children) > MaxSweepChildren {
+			t.Fatalf("expansion of %d children escaped the cap %d (spec %q)",
+				len(children), spec.maxChildren(), doc)
+		}
+		for _, c := range children {
+			// Every expanded child passed validation; the bounded-geometry
+			// allowlist holds behind the fuzzer too.
+			if err := c.Request.Validate(); err != nil {
+				t.Fatalf("expansion emitted an invalid child: %v (spec %q)", err, doc)
+			}
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,6 +31,9 @@ const maxBodyBytes = 1 << 20
 //	GET  /v1/jobs/{id}/report the bare report artifact, byte-identical
 //	                          to the equivalent cmd/hybridsim output
 //	GET  /v1/jobs/{id}/epochs live epoch stream (NDJSON; SSE negotiated)
+//	POST /v1/sweeps           submit a batch sweep (202)
+//	GET  /v1/sweeps           list sweep statuses
+//	GET  /v1/sweeps/{id}      sweep status with per-child rows
 //	GET  /healthz             liveness + drain state
 //	GET  /metrics             manager operational metrics
 //
@@ -45,6 +49,9 @@ func NewHandler(m *Manager, log *slog.Logger) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/jobs/{id}/epochs", s.handleEpochs)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweeps)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.logging(mux)
@@ -173,7 +180,10 @@ func (s *apiServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.m.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// Retry-After is derived from the backlog and the observed mean
+		// job duration, not a constant: a queue of minute-long runs and a
+		// queue of millisecond smoke runs deserve different advice.
+		w.Header().Set("Retry-After", strconv.Itoa(s.m.RetryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrDraining):
@@ -343,6 +353,52 @@ func (s *apiServer) handleEpochs(w http.ResponseWriter, r *http.Request) {
 		case <-notify:
 		}
 	}
+}
+
+// handleSubmitSweep decodes a sweep spec strictly, expands it
+// server-side and starts the scheduler. Expansion problems (unknown
+// axis, over-cap cross product, invalid child config) are client errors
+// — nothing queues until the whole sweep is admissible.
+func (s *apiServer) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	spec, err := DecodeSweepSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sw, err := s.m.SubmitSweep(spec)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/sweeps/"+sw.ID())
+	writeJSON(w, http.StatusAccepted, s.m.SweepStatus(sw, true))
+}
+
+func (s *apiServer) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	sweeps := s.m.Sweeps()
+	statuses := make([]SweepStatus, len(sweeps))
+	for i, sw := range sweeps {
+		statuses[i] = s.m.SweepStatus(sw, false)
+	}
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *apiServer) handleSweep(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.m.Sweep(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.m.SweepStatus(sw, true))
 }
 
 func (s *apiServer) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -26,20 +26,25 @@ type Job struct {
 	id        string
 	req       JobRequest
 	cacheKey  string
+	sweepID   string // owning sweep, empty for standalone submissions
+	label     string // sweep-child axis label ("policy=CA,cpth=40")
 	submitted time.Time
 	cancel    context.CancelFunc
 
-	mu       sync.Mutex
-	state    JobState
-	started  time.Time
-	finished time.Time
-	done     uint64
-	total    uint64
-	epochs   []metrics.Sample
-	notify   chan struct{}
-	result   *Result
-	err      error
-	cacheHit bool
+	mu        sync.Mutex
+	state     JobState
+	started   time.Time
+	finished  time.Time
+	done      uint64
+	total     uint64
+	attempts  int // execution attempts so far (retries increment)
+	recovered bool
+	epochs    []metrics.Sample
+	notify    chan struct{}
+	result    *Result
+	err       error
+	cacheHit  bool
+	lastCkpt  time.Time // last journaled checkpoint (throttling)
 }
 
 func newJob(id string, req JobRequest) *Job {
@@ -94,6 +99,76 @@ func (j *Job) markRunning() bool {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.wake()
+	return true
+}
+
+// beginAttempt records one more execution attempt, clearing any epochs a
+// previous failed attempt streamed (the new run re-emits the series from
+// the start; bit-exact determinism makes it the same series).
+func (j *Job) beginAttempt() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.attempts++
+	if j.attempts > 1 {
+		j.epochs = j.epochs[:0]
+	}
+	return j.attempts
+}
+
+// Attempts returns how many execution attempts the job has made.
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+// completeFromCache finishes a still-pending job with a shared cached or
+// store-recovered result, marking it a cache hit (no simulation ran for
+// it in this process).
+func (j *Job) completeFromCache(res *Result) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = StateCompleted
+	j.finished = time.Now()
+	if j.started.IsZero() {
+		j.started = j.finished
+	}
+	j.done = j.total
+	j.epochs = res.Epochs
+	j.result = res
+	j.cacheHit = true
+	j.wake()
+}
+
+// awaitTerminal blocks until the job reaches a terminal state. The
+// sweep scheduler uses it to pace child admission.
+func (j *Job) awaitTerminal() {
+	for {
+		j.mu.Lock()
+		term := j.state.Terminal()
+		ch := j.notify
+		j.mu.Unlock()
+		if term {
+			return
+		}
+		<-ch
+	}
+}
+
+// shouldCheckpoint reports whether enough time has passed since the
+// last journaled checkpoint (negative interval means always), claiming
+// the slot when it has.
+func (j *Job) shouldCheckpoint(interval time.Duration) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	now := time.Now()
+	if interval >= 0 && now.Sub(j.lastCkpt) < interval {
+		return false
+	}
+	j.lastCkpt = now
 	return true
 }
 
@@ -169,8 +244,12 @@ func (j *Job) Status() JobStatus {
 		ProgressCycles: j.done,
 		TotalCycles:    j.total,
 		Epochs:         len(j.epochs),
+		Attempts:       j.attempts,
 		CacheHit:       j.cacheHit,
 		CacheKey:       j.cacheKey,
+		Sweep:          j.sweepID,
+		Label:          j.label,
+		Recovered:      j.recovered,
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -2,10 +2,12 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -13,6 +15,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/jobstore"
 	"repro/internal/metrics"
 )
 
@@ -23,6 +26,12 @@ var (
 	ErrDraining  = errors.New("server: draining, not accepting jobs")
 )
 
+// stateRetrying is a journal-only state: the job failed transiently and
+// will run again after backoff. It never becomes a Job's lifecycle
+// state — on replay it reads as non-terminal, which is exactly right
+// (the job is re-executed).
+const stateRetrying = "retrying"
+
 // Options tune a Manager. The zero value picks sensible daemon defaults.
 type Options struct {
 	// Workers caps concurrently running simulations; <= 0 uses
@@ -32,12 +41,29 @@ type Options struct {
 	// rejects submissions with ErrQueueFull (backpressure, not
 	// buffering). <= 0 defaults to 64.
 	QueueDepth int
-	// JobTimeout cancels a run that exceeds it (checkpoint-cancel at the
-	// next epoch boundary); 0 disables the deadline.
+	// JobTimeout cancels a run attempt that exceeds it (checkpoint-cancel
+	// at the next epoch boundary); 0 disables the deadline. With retries
+	// enabled the deadline is per attempt.
 	JobTimeout time.Duration
 	// CacheSize bounds the content-addressed result cache; <= 0 uses 256.
 	// Use NoCache to disable caching.
 	CacheSize int
+	// Store, when set, makes the manager durable: every state transition
+	// is journaled, completed results are written as content-addressed
+	// artifacts, and NewManager replays the journal to recover jobs and
+	// sweeps a previous process left behind.
+	Store *jobstore.Store
+	// Retries is how many times a transiently failed attempt (panic,
+	// per-attempt timeout) is re-executed before the job fails for good.
+	// 0 — the default — preserves fail-fast semantics.
+	Retries int
+	// RetryBackoff shapes the delay between attempts (full jitter: a
+	// uniform draw from [0, Base·2^(attempt-1)] capped at Max). Zero
+	// values pick the cliutil defaults.
+	RetryBackoff cliutil.Backoff
+	// CheckpointEvery throttles journal checkpoint entries per job; 0
+	// defaults to 1s, negative journals every epoch checkpoint (tests).
+	CheckpointEvery time.Duration
 	// Logger receives structured job lifecycle events; nil discards them.
 	Logger *slog.Logger
 }
@@ -45,48 +71,71 @@ type Options struct {
 // NoCache as Options.CacheSize disables the result cache.
 const NoCache = -1
 
-// Manager owns the job queue, the worker pool and the result cache.
-// Every simulation runs behind cliutil's recover barrier, so a panicking
-// run becomes a failed job record instead of a dead daemon.
+// Manager owns the job queue, the worker pool, the result cache and —
+// when a Store is configured — the durability pipeline. Every
+// simulation runs behind cliutil's recover barrier, so a panicking run
+// becomes a failed job record instead of a dead daemon; with retries
+// enabled it becomes a delayed second attempt first.
 type Manager struct {
 	opts       Options
 	log        *slog.Logger
 	cache      *resultCache
+	store      *jobstore.Store
 	queue      chan *Job
+	drainc     chan struct{} // closed when draining starts
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
 	wg         sync.WaitGroup
 	reg        *metrics.Registry
 
-	mu       sync.Mutex // guards jobs/order/draining/seq and queue sends vs close
+	mu       sync.Mutex // guards jobs/order/sweeps/sweepOrder/draining/seq/sweepSeq and queue sends vs drain
 	jobs     map[string]*Job
 	order    []string
+	sweeps   map[string]*Sweep
+	sweepOrd []string
 	draining bool
 	seq      uint64
+	sweepSeq uint64
 
 	submitted    atomic.Uint64
 	completed    atomic.Uint64
 	failed       atomic.Uint64
 	canceled     atomic.Uint64
+	retried      atomic.Uint64
+	recovered    atomic.Uint64
 	cacheHits    atomic.Uint64
 	cacheMisses  atomic.Uint64
 	queueRejects atomic.Uint64
+	sweepsSubd   atomic.Uint64
+	sweepsDone   atomic.Uint64
 	running      atomic.Int64
+	meanNanos    atomic.Uint64 // EWMA of job wall time, as float64 bits
 
 	// beforeRun, when set, runs on the worker goroutine after a job is
 	// claimed and before it simulates. Tests use it to hold a worker busy
 	// deterministically (queue-full and drain scenarios).
 	beforeRun func(*Job)
+	// beforeAttempt, when set, runs inside the recover barrier at the
+	// start of every attempt. Tests use it to inject transient faults
+	// (panics) on chosen attempts.
+	beforeAttempt func(j *Job, attempt int) error
 }
 
 // NewManager starts a manager: its workers are live and pulling from the
-// queue when it returns. Stop it with Drain (graceful) or Close.
-func NewManager(opts Options) *Manager {
+// queue when it returns. With Options.Store set it first replays the
+// store's journal — completed jobs come back served from their
+// artifacts, interrupted jobs and sweeps are re-executed — and an
+// unreadable journal is an error (a durable daemon must not silently
+// forget history). Stop the manager with Drain (graceful) or Close.
+func NewManager(opts Options) (*Manager, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 64
+	}
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = time.Second
 	}
 	cacheSize := opts.CacheSize
 	switch {
@@ -104,10 +153,13 @@ func NewManager(opts Options) *Manager {
 		opts:       opts,
 		log:        log,
 		cache:      newResultCache(cacheSize),
+		store:      opts.Store,
 		queue:      make(chan *Job, opts.QueueDepth),
+		drainc:     make(chan struct{}),
 		rootCtx:    ctx,
 		rootCancel: cancel,
 		jobs:       make(map[string]*Job),
+		sweeps:     make(map[string]*Sweep),
 	}
 	m.reg = metrics.NewRegistry()
 	counter := func(name string, v *atomic.Uint64) {
@@ -117,17 +169,30 @@ func NewManager(opts Options) *Manager {
 	counter("server.jobs.completed", &m.completed)
 	counter("server.jobs.failed", &m.failed)
 	counter("server.jobs.canceled", &m.canceled)
+	counter("server.jobs.retried", &m.retried)
+	counter("server.jobs.recovered", &m.recovered)
 	counter("server.cache.hits", &m.cacheHits)
 	counter("server.cache.misses", &m.cacheMisses)
 	counter("server.queue.rejects", &m.queueRejects)
+	counter("server.sweeps.submitted", &m.sweepsSubd)
+	counter("server.sweeps.completed", &m.sweepsDone)
 	m.reg.GaugeFunc("server.queue.depth", func() float64 { return float64(len(m.queue)) })
 	m.reg.GaugeFunc("server.jobs.running", func() float64 { return float64(m.running.Load()) })
 	m.reg.GaugeFunc("server.cache.entries", func() float64 { return float64(m.cache.len()) })
+	if m.store != nil {
+		m.reg.GaugeFunc("server.store.artifacts", func() float64 { return float64(m.store.CountArtifacts()) })
+	}
 	m.wg.Add(opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
 		go m.worker()
 	}
-	return m
+	if m.store != nil {
+		if err := m.recoverFromStore(); err != nil {
+			m.rootCancel()
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
 // Registry exposes the manager's operational metrics (the /metrics
@@ -160,6 +225,47 @@ func (m *Manager) Jobs() []*Job {
 	return out
 }
 
+// Sweep looks a sweep up by ID.
+func (m *Manager) Sweep(id string) (*Sweep, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sweeps[id]
+	return s, ok
+}
+
+// Sweeps returns every known sweep in submission order.
+func (m *Manager) Sweeps() []*Sweep {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Sweep, 0, len(m.sweepOrd))
+	for _, id := range m.sweepOrd {
+		out = append(out, m.sweeps[id])
+	}
+	return out
+}
+
+// journal appends a store entry; without a store it is a no-op. Journal
+// failures are logged, not fatal — the daemon keeps serving, it just
+// loses durability for that transition.
+func (m *Manager) journal(e jobstore.Entry) {
+	if m.store == nil {
+		return
+	}
+	if err := m.store.Append(e); err != nil {
+		m.log.Error("journal append failed", "kind", e.Kind, "id", e.ID, "state", e.State, "err", err)
+	}
+}
+
+// journalJob appends a plain state transition for a job.
+func (m *Manager) journalJob(j *Job, state string, err error) {
+	e := jobstore.Entry{Kind: jobstore.KindJob, ID: j.id, State: state,
+		Sweep: j.sweepID, Label: j.label, CacheKey: j.cacheKey, Attempt: j.Attempts()}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	m.journal(e)
+}
+
 // Submit validates nothing (callers decode+validate the request) and
 // enqueues a job, serving it straight from the result cache when the
 // content address hits. ErrQueueFull and ErrDraining report backpressure
@@ -178,6 +284,8 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		m.mu.Unlock()
 		m.submitted.Add(1)
 		m.cacheHits.Add(1)
+		m.journal(jobstore.Entry{Kind: jobstore.KindJob, ID: j.id, State: string(StateCompleted),
+			CacheKey: key, Request: marshalRequest(req)})
 		m.log.Info("job cache hit", "job", j.id, "key", key)
 		return j, nil
 	}
@@ -202,15 +310,172 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	m.mu.Unlock()
 	m.submitted.Add(1)
 	m.cacheMisses.Add(1)
+	m.journal(jobstore.Entry{Kind: jobstore.KindJob, ID: j.id, State: string(StateQueued),
+		CacheKey: key, Request: marshalRequest(req)})
 	m.log.Info("job queued", "job", j.id, "key", key,
 		"policy", j.req.Config.PolicyName, "mix", j.req.Config.MixID+1)
 	return j, nil
+}
+
+// marshalRequest renders a request for its creation journal entry.
+func marshalRequest(req JobRequest) json.RawMessage {
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return nil // recovery will fail the job; better than a corrupt entry
+	}
+	return blob
+}
+
+// SubmitSweep expands a validated spec into child jobs sharing a sweep
+// ID and starts the sweep's scheduler, which admits children into the
+// execution queue under the spec's concurrency cap. Children whose
+// content address hits the cache complete immediately without running.
+func (m *Manager) SubmitSweep(spec SweepSpec) (*Sweep, error) {
+	children, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	specRaw, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("sweep spec: %w", err)
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.sweepSeq++
+	sw := &Sweep{
+		id:      fmt.Sprintf("sweep-%06d", m.sweepSeq),
+		spec:    spec,
+		specRaw: specRaw,
+		created: time.Now(),
+		state:   SweepRunning,
+	}
+	jobs := make([]*Job, 0, len(children))
+	var hits int
+	for _, c := range children {
+		var j *Job
+		if res, ok := m.cache.get(c.Request.CacheKey()); ok {
+			j = newCachedJob(m.nextIDLocked(), c.Request, res)
+			hits++
+		} else {
+			j = newJob(m.nextIDLocked(), c.Request)
+		}
+		j.sweepID, j.label = sw.id, c.Label
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		sw.children = append(sw.children, j.id)
+		jobs = append(jobs, j)
+	}
+	m.sweeps[sw.id] = sw
+	m.sweepOrd = append(m.sweepOrd, sw.id)
+	m.mu.Unlock()
+
+	m.sweepsSubd.Add(1)
+	m.submitted.Add(uint64(len(jobs)))
+	m.cacheHits.Add(uint64(hits))
+	m.cacheMisses.Add(uint64(len(jobs) - hits))
+	m.journal(jobstore.Entry{Kind: jobstore.KindSweep, ID: sw.id,
+		State: string(SweepRunning), Spec: specRaw, Children: sw.Children()})
+	for _, j := range jobs {
+		state := string(StateQueued)
+		if j.State() == StateCompleted {
+			state = string(StateCompleted)
+		}
+		m.journal(jobstore.Entry{Kind: jobstore.KindJob, ID: j.id, State: state,
+			Sweep: sw.id, Label: j.label, CacheKey: j.cacheKey, Request: marshalRequest(j.req)})
+	}
+	m.log.Info("sweep submitted", "sweep", sw.id, "name", spec.Name,
+		"children", len(jobs), "cache_hits", hits, "concurrency", spec.concurrency())
+
+	m.wg.Add(1)
+	go m.runSweep(sw, jobs)
+	return sw, nil
 }
 
 // nextIDLocked mints the next job ID; the caller holds m.mu.
 func (m *Manager) nextIDLocked() string {
 	m.seq++
 	return fmt.Sprintf("job-%06d", m.seq)
+}
+
+// runSweep is the per-sweep scheduler goroutine: it admits children
+// into the execution queue at most `concurrency` at a time (blocking —
+// sweeps pace themselves instead of tripping queue backpressure) and
+// finalizes the sweep when every child is terminal. A drain cancels
+// children not yet admitted; the sweep ends canceled and a restart over
+// the same store resumes it.
+func (m *Manager) runSweep(sw *Sweep, jobs []*Job) {
+	defer m.wg.Done()
+	sem := make(chan struct{}, sw.spec.concurrency())
+	var watchers sync.WaitGroup
+	aborted := false
+	for _, j := range jobs {
+		if aborted {
+			m.finishJob(j, StateCanceled, nil, ErrDraining, cliutil.TaskResult{})
+			continue
+		}
+		if j.State().Terminal() { // cache hit or recovered-complete child
+			continue
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-m.drainc:
+			aborted = true
+			m.finishJob(j, StateCanceled, nil, ErrDraining, cliutil.TaskResult{})
+			continue
+		}
+		if !m.enqueueBlocking(j) {
+			<-sem
+			aborted = true
+			m.finishJob(j, StateCanceled, nil, ErrDraining, cliutil.TaskResult{})
+			continue
+		}
+		watchers.Add(1)
+		go func(j *Job) {
+			defer watchers.Done()
+			j.awaitTerminal()
+			<-sem
+		}(j)
+	}
+	watchers.Wait()
+	state := SweepCompleted
+	if aborted {
+		state = SweepCanceled
+	}
+	if sw.finalize(state) {
+		m.journal(jobstore.Entry{Kind: jobstore.KindSweep, ID: sw.id, State: string(state)})
+		if state == SweepCompleted {
+			m.sweepsDone.Add(1)
+		}
+		m.log.Info("sweep finished", "sweep", sw.id, "state", state, "children", len(sw.Children()))
+	}
+}
+
+// enqueueBlocking queues a job, waiting for space instead of rejecting;
+// it fails only once the manager starts draining.
+func (m *Manager) enqueueBlocking(j *Job) bool {
+	for {
+		m.mu.Lock()
+		if m.draining {
+			m.mu.Unlock()
+			return false
+		}
+		select {
+		case m.queue <- j:
+			m.mu.Unlock()
+			return true
+		default:
+		}
+		m.mu.Unlock()
+		select {
+		case <-m.drainc:
+			return false
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
 }
 
 // Drain stops accepting submissions, lets queued and running jobs finish,
@@ -222,7 +487,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.draining {
 		m.draining = true
-		close(m.queue)
+		close(m.drainc)
 	}
 	m.mu.Unlock()
 	done := make(chan struct{})
@@ -247,16 +512,68 @@ func (m *Manager) Close() {
 	m.Drain(context.Background())
 }
 
-// worker pulls jobs until the queue is closed and drained.
+// worker pulls jobs until draining starts, then drains the queue and
+// exits. Any job enqueued before the drain flag flipped is in the
+// buffer before drainc closes (both happen under m.mu), so graceful
+// drains never strand a queued job.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
-		m.runJob(j)
+	for {
+		select {
+		case j := <-m.queue:
+			m.runJob(j)
+		case <-m.drainc:
+			for {
+				select {
+				case j := <-m.queue:
+					m.runJob(j)
+				default:
+					return
+				}
+			}
+		}
 	}
 }
 
-// runJob executes one job behind the recover barrier and publishes its
-// terminal state.
+// observeDuration folds a completed run's wall time into the EWMA the
+// Retry-After estimate reads.
+func (m *Manager) observeDuration(d time.Duration) {
+	const alpha = 0.3
+	for {
+		old := m.meanNanos.Load()
+		mean := float64(d)
+		if old != 0 {
+			mean = (1-alpha)*math.Float64frombits(old) + alpha*float64(d)
+		}
+		if m.meanNanos.CompareAndSwap(old, math.Float64bits(mean)) {
+			return
+		}
+	}
+}
+
+// RetryAfterSeconds estimates how long a rejected submitter should wait
+// before the queue has space: the backlog ahead of it divided across
+// the workers, at the observed mean job duration, clamped to [1, 120].
+// Before any job has completed it answers the floor.
+func (m *Manager) RetryAfterSeconds() int {
+	mean := math.Float64frombits(m.meanNanos.Load())
+	if mean <= 0 {
+		return 1
+	}
+	backlog := float64(len(m.queue) + 1)
+	secs := int(math.Ceil(mean * backlog / float64(m.opts.Workers) / float64(time.Second)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 120 {
+		secs = 120
+	}
+	return secs
+}
+
+// runJob executes one job behind the recover barrier, retrying
+// transient failures (panics, per-attempt timeouts) with jittered
+// backoff up to Options.Retries times, and publishes the terminal state.
 func (m *Manager) runJob(j *Job) {
 	if hook := m.beforeRun; hook != nil {
 		hook(j)
@@ -266,50 +583,119 @@ func (m *Manager) runJob(j *Job) {
 	}
 	m.running.Add(1)
 	defer m.running.Add(-1)
+	m.journalJob(j, string(StateRunning), nil)
 
-	ctx := m.rootCtx
-	cancel := context.CancelFunc(func() {})
-	if m.opts.JobTimeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, m.opts.JobTimeout)
-	}
-	defer cancel()
-	j.cancel = cancel
+	maxAttempts := m.opts.Retries + 1
+	for {
+		attempt := j.beginAttempt()
+		start := time.Now()
+		ctx := m.rootCtx
+		cancel := context.CancelFunc(func() {})
+		if m.opts.JobTimeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, m.opts.JobTimeout)
+		}
+		j.cancel = cancel
 
-	var res *Result
-	outcome := cliutil.RunTask(cliutil.Task{
-		Name: j.id,
-		Run: func() error {
-			r, err := m.simulate(ctx, j)
-			res = r
-			return err
-		},
-	}, 0)
+		var res *Result
+		outcome := cliutil.RunTask(cliutil.Task{
+			Name: j.id,
+			Run: func() error {
+				if hook := m.beforeAttempt; hook != nil {
+					if err := hook(j, attempt); err != nil {
+						return err
+					}
+				}
+				r, err := m.simulate(ctx, j)
+				res = r
+				return err
+			},
+		}, 0)
+		cancel()
 
-	err := outcome.Err
-	switch {
-	case err == nil:
-		j.finish(StateCompleted, res, nil)
-		m.cache.put(j.cacheKey, res)
-		m.completed.Add(1)
-		m.log.Info("job completed", "job", j.id,
-			"mean_ipc", res.Summary.MeanIPC, "epochs", len(res.Epochs))
-	case errors.Is(err, context.Canceled):
-		j.finish(StateCanceled, nil, err)
-		m.canceled.Add(1)
-		m.log.Info("job canceled", "job", j.id)
-	case errors.Is(err, context.DeadlineExceeded):
-		j.finish(StateFailed, nil, fmt.Errorf("job timeout %v exceeded", m.opts.JobTimeout))
-		m.failed.Add(1)
-		m.log.Warn("job timed out", "job", j.id, "timeout", m.opts.JobTimeout)
-	default:
-		j.finish(StateFailed, nil, err)
-		m.failed.Add(1)
-		m.log.Error("job failed", "job", j.id, "err", err, "panicked", outcome.Panicked)
+		err := outcome.Err
+		if err == nil {
+			m.observeDuration(time.Since(start))
+			m.finishJob(j, StateCompleted, res, nil, outcome)
+			return
+		}
+		if errors.Is(err, context.Canceled) {
+			m.finishJob(j, StateCanceled, nil, err, outcome)
+			return
+		}
+		transient := outcome.Panicked || outcome.TimedOut || errors.Is(err, context.DeadlineExceeded)
+		if transient && attempt < maxAttempts && m.rootCtx.Err() == nil {
+			delay := m.opts.RetryBackoff.Delay(attempt, nil)
+			m.retried.Add(1)
+			m.journalJob(j, stateRetrying, err)
+			m.log.Warn("job attempt failed, retrying", "job", j.id, "sweep", j.sweepID,
+				"attempt", attempt, "of", maxAttempts, "backoff", delay.Round(time.Millisecond),
+				"err", err, "panicked", outcome.Panicked)
+			select {
+			case <-time.After(delay):
+				continue
+			case <-m.rootCtx.Done():
+				m.finishJob(j, StateCanceled, nil, context.Canceled, outcome)
+				return
+			}
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("job timeout %v exceeded after %d attempt(s)", m.opts.JobTimeout, attempt)
+		}
+		m.finishJob(j, StateFailed, nil, err, outcome)
+		return
 	}
 }
 
+// finishJob publishes a job's terminal state: counters, cache and
+// artifact on success, journal entry always. The artifact is written
+// before its journal entry, so a journaled completion implies the
+// artifact exists (at-least-once execution, idempotent artifacts).
+func (m *Manager) finishJob(j *Job, state JobState, res *Result, err error, outcome cliutil.TaskResult) {
+	j.finish(state, res, err)
+	switch state {
+	case StateCompleted:
+		m.cache.put(j.cacheKey, res)
+		m.completed.Add(1)
+		sha := m.storeResult(j, res)
+		m.journal(jobstore.Entry{Kind: jobstore.KindJob, ID: j.id, State: string(StateCompleted),
+			Sweep: j.sweepID, Label: j.label, CacheKey: j.cacheKey,
+			Attempt: j.Attempts(), ArtifactSHA: sha})
+		m.log.Info("job completed", "job", j.id, "sweep", j.sweepID,
+			"mean_ipc", res.Summary.MeanIPC, "epochs", len(res.Epochs), "attempts", j.Attempts())
+	case StateCanceled:
+		m.canceled.Add(1)
+		m.journalJob(j, string(StateCanceled), err)
+		m.log.Info("job canceled", "job", j.id, "sweep", j.sweepID)
+	default:
+		m.failed.Add(1)
+		m.journalJob(j, string(StateFailed), err)
+		m.log.Error("job failed", "job", j.id, "sweep", j.sweepID,
+			"err", err, "panicked", outcome.Panicked, "attempts", j.Attempts())
+	}
+}
+
+// storeResult writes the result's artifact and returns its SHA-256, or
+// "" when the manager has no store or the write failed (recovery then
+// re-runs the job instead of loading a blob that is not there).
+func (m *Manager) storeResult(j *Job, res *Result) string {
+	if m.store == nil {
+		return ""
+	}
+	blob, err := encodeResult(j.cacheKey, res)
+	if err != nil {
+		m.log.Error("artifact encode failed", "job", j.id, "key", j.cacheKey, "err", err)
+		return ""
+	}
+	sha, err := m.store.PutArtifact(j.cacheKey, blob)
+	if err != nil {
+		m.log.Error("artifact write failed", "job", j.id, "key", j.cacheKey, "err", err)
+		return ""
+	}
+	return sha
+}
+
 // simulate builds and measures the job's run, streaming epochs and
-// progress into the job as it goes.
+// progress into the job as it goes and journaling throttled checkpoints.
 func (m *Manager) simulate(ctx context.Context, j *Job) (*Result, error) {
 	h, err := j.req.Config.NewRunHandle()
 	if err != nil {
@@ -319,10 +705,20 @@ func (m *Manager) simulate(ctx context.Context, j *Job) (*Result, error) {
 	if j.req.Capacity < 1 {
 		h.PreAge(j.req.Capacity)
 	}
-	sum, err := h.MeasureCtx(ctx, j.req.WarmupCycles, j.req.MeasureCycles, core.RunHooks{
+	hooks := core.RunHooks{
 		OnEpoch:    j.addEpoch,
 		OnProgress: j.setProgress,
-	})
+	}
+	if m.store != nil {
+		hooks.OnCheckpoint = func(cp core.Checkpoint) {
+			if !j.shouldCheckpoint(m.opts.CheckpointEvery) {
+				return
+			}
+			m.journal(jobstore.Entry{Kind: jobstore.KindJob, ID: j.id, State: jobstore.StateCheckpoint,
+				Progress: cp.Cycles, Total: cp.TotalCycles})
+		}
+	}
+	sum, err := h.MeasureCtx(ctx, j.req.WarmupCycles, j.req.MeasureCycles, hooks)
 	if err != nil {
 		return nil, err
 	}
@@ -335,4 +731,213 @@ func (m *Manager) simulate(ctx context.Context, j *Job) (*Result, error) {
 		Epochs:     h.EpochRing().Samples(),
 		CPthWinner: winner,
 	}, nil
+}
+
+// recoverFromStore replays the journal into live state: completed jobs
+// come back served from their artifacts (hash-verified when the journal
+// recorded a digest), interrupted jobs are re-enqueued to run again from
+// their recorded requests — the simulator is bit-exact deterministic, so
+// the re-run produces the same artifact bytes — and unfinished sweeps
+// resume scheduling, skipping children that already have results.
+func (m *Manager) recoverFromStore() error {
+	entries, err := jobstore.Replay(m.store.Root())
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	red := jobstore.Reduce(entries)
+
+	sweepState := make(map[string]string, len(red.Sweeps))
+	for _, sr := range red.Sweeps {
+		sweepState[sr.ID] = sr.State
+	}
+
+	var requeue []*Job
+	for _, rec := range red.Jobs {
+		if n, ok := parseSeq(rec.ID, "job"); ok && n > m.seq {
+			m.seq = n
+		}
+		j, runnable := m.rebuildJob(rec, sweepState[rec.Sweep])
+		m.mu.Lock()
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		m.mu.Unlock()
+		m.recovered.Add(1)
+		if runnable && rec.Sweep == "" {
+			requeue = append(requeue, j) // sweep children are re-admitted by their scheduler
+		}
+	}
+
+	for _, sr := range red.Sweeps {
+		if n, ok := parseSeq(sr.ID, "sweep"); ok && n > m.sweepSeq {
+			m.sweepSeq = n
+		}
+		sw := &Sweep{id: sr.ID, created: time.Now(), children: append([]string(nil), sr.Children...)}
+		spec, err := DecodeSweepSpec(sr.Spec)
+		switch {
+		case err != nil:
+			// The journaled spec was validated before it was written, so
+			// this is disk-level damage; the sweep cannot resume.
+			m.log.Error("recovered sweep has an unreadable spec", "sweep", sr.ID, "err", err)
+			sw.state, sw.finished = SweepCanceled, time.Now()
+		case sr.State == string(SweepCompleted):
+			sw.spec, sw.state, sw.finished = spec, SweepCompleted, time.Now()
+		default:
+			sw.spec, sw.state = spec, SweepRunning
+		}
+		m.mu.Lock()
+		m.sweeps[sw.id] = sw
+		m.sweepOrd = append(m.sweepOrd, sw.id)
+		jobs := make([]*Job, 0, len(sw.children))
+		for _, id := range sw.children {
+			if j, ok := m.jobs[id]; ok {
+				jobs = append(jobs, j)
+			}
+		}
+		m.mu.Unlock()
+		if sw.State() == SweepRunning {
+			m.log.Info("resuming sweep", "sweep", sw.id, "children", len(jobs))
+			m.wg.Add(1)
+			go m.runSweep(sw, jobs)
+		}
+	}
+
+	m.log.Info("journal replayed", "entries", len(entries),
+		"jobs", len(red.Jobs), "sweeps", len(red.Sweeps), "requeued", len(requeue))
+
+	// Re-enqueue interrupted standalone jobs off the constructor path —
+	// there may be more of them than the queue holds.
+	if len(requeue) > 0 {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for _, j := range requeue {
+				if !m.enqueueBlocking(j) {
+					m.finishJob(j, StateCanceled, nil, ErrDraining, cliutil.TaskResult{})
+				}
+			}
+		}()
+	}
+	return nil
+}
+
+// rebuildJob reconstructs one job from its reduced journal record,
+// returning it plus whether it still needs to run. Completed jobs load
+// their artifact (missing or corrupt → re-run); failed jobs stay
+// failed; canceled standalone jobs stay canceled, but canceled children
+// of an unfinished sweep re-run — the cancel came from a drain, and the
+// resumed sweep still owes their results.
+func (m *Manager) rebuildJob(rec *jobstore.JobRecord, ownerState string) (j *Job, runnable bool) {
+	req, reqErr := DecodeJobRequest(rec.Request)
+	if len(rec.Request) == 0 {
+		reqErr = errors.New("journal holds no request document")
+	}
+	j = newJob(rec.ID, req)
+	j.sweepID, j.label, j.recovered = rec.Sweep, rec.Label, true
+	j.attempts = rec.Attempt
+	if rec.CacheKey != "" {
+		j.cacheKey = rec.CacheKey
+	}
+	if reqErr != nil {
+		j.finish(StateFailed, nil, fmt.Errorf("unrecoverable: %w", reqErr))
+		return j, false
+	}
+	switch rec.State {
+	case string(StateCompleted):
+		data, ok, err := m.store.GetArtifact(j.cacheKey, rec.ArtifactSHA)
+		if err == nil && ok {
+			if res, derr := decodeResult(data); derr == nil {
+				j.completeFromCache(res)
+				m.cache.put(j.cacheKey, res)
+				return j, false
+			} else {
+				err = derr
+			}
+		}
+		if err != nil {
+			m.log.Warn("completed job's artifact unusable, re-running", "job", j.id, "key", j.cacheKey, "err", err)
+		} else {
+			m.log.Warn("completed job's artifact missing, re-running", "job", j.id, "key", j.cacheKey)
+		}
+		return j, true
+	case string(StateFailed):
+		j.finish(StateFailed, nil, errors.New(rec.Error))
+		return j, false
+	case string(StateCanceled):
+		if rec.Sweep != "" && ownerState != string(SweepCompleted) {
+			return j, true // drain-canceled child of a sweep we will resume
+		}
+		j.finish(StateCanceled, nil, errors.New(rec.Error))
+		return j, false
+	default: // queued, running, retrying, or a torn creation → run it
+		return j, true
+	}
+}
+
+// parseSeq extracts the numeric suffix of a "prefix-%06d" identifier.
+func parseSeq(id, prefix string) (uint64, bool) {
+	var n uint64
+	if _, err := fmt.Sscanf(id, prefix+"-%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// SweepStatus assembles the wire form of a sweep, optionally with the
+// per-child rows.
+func (m *Manager) SweepStatus(sw *Sweep, withChildren bool) SweepStatus {
+	state, created, finished, name, children := sw.snapshot()
+	st := SweepStatus{
+		ID:            sw.id,
+		Name:          name,
+		State:         state,
+		CreatedAt:     created,
+		TotalChildren: len(children),
+	}
+	if !finished.IsZero() {
+		t := finished
+		st.FinishedAt = &t
+	}
+	var ipcSum float64
+	for _, id := range children {
+		j, ok := m.Job(id)
+		if !ok {
+			continue
+		}
+		cs := j.Status()
+		row := SweepChildStatus{ID: cs.ID, Label: cs.Label, State: cs.State,
+			CacheHit: cs.CacheHit, Attempts: cs.Attempts, Error: cs.Error}
+		switch cs.State {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateCompleted:
+			st.Completed++
+			if res := j.Result(); res != nil {
+				ipc := res.Summary.MeanIPC
+				ipcSum += ipc
+				row.MeanIPC = &ipc
+			}
+		case StateFailed:
+			st.Failed++
+		case StateCanceled:
+			st.Canceled++
+		}
+		if cs.CacheHit {
+			st.CacheHits++
+		}
+		if cs.Attempts > 1 {
+			st.Retried++
+		}
+		if withChildren {
+			st.Children = append(st.Children, row)
+		}
+	}
+	if st.Completed > 0 {
+		st.MeanIPC = ipcSum / float64(st.Completed)
+	}
+	return st
 }

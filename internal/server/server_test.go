@@ -30,7 +30,10 @@ const testBody = `{
 
 func newTestManager(t *testing.T, opts Options) *Manager {
 	t.Helper()
-	m := NewManager(opts)
+	m, err := NewManager(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(m.Close)
 	return m
 }
@@ -443,7 +446,10 @@ func TestCacheKeySemantics(t *testing.T) {
 func TestGracefulDrain(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	m := NewManager(Options{Workers: 2, QueueDepth: 4, CacheSize: 4})
+	m, err := NewManager(Options{Workers: 2, QueueDepth: 4, CacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(NewHandler(m, nil))
 
 	resp, b := postJob(t, srv.URL, testBody)
