@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint fmt-check ci race-shard race-server shard-smoke fuzz-smoke serve server-smoke recovery-smoke tournament-smoke faultstudy bench bench-parallel bench-go bench-figures validate experiments clean
+.PHONY: all build test vet lint fmt-check ci race-shard race-server shard-smoke fuzz-smoke serve server-smoke recovery-smoke estimate-smoke tournament-smoke faultstudy bench bench-parallel bench-estimate bench-go bench-figures validate experiments clean
 
 all: build vet test
 
@@ -38,10 +38,12 @@ ci: fmt-check lint build
 	$(MAKE) fuzz-smoke
 	$(MAKE) server-smoke
 	$(MAKE) recovery-smoke
+	$(MAKE) estimate-smoke
 	$(MAKE) tournament-smoke
 	$(GO) run ./cmd/faultstudy -quick
 	$(MAKE) bench
 	$(MAKE) bench-parallel
+	$(MAKE) bench-estimate
 
 # Dedicated race gate for the concurrent engine and the packages it
 # drives: -count=2 reruns defeat one-shot schedule luck. The simd job
@@ -61,6 +63,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzBDIRoundTrip$$' -fuzztime=10s ./internal/bdi
 	$(GO) test -run='^$$' -fuzz='^FuzzTraceParse$$' -fuzztime=10s ./internal/trace
 	$(GO) test -run='^$$' -fuzz='^FuzzSweepSpecDecode$$' -fuzztime=10s ./internal/server
+	$(GO) test -run='^$$' -fuzz='^FuzzEstimateSpecDecode$$' -fuzztime=10s ./internal/server
 
 # Run the simulation daemon on :8080 (see README for the curl quickstart).
 serve:
@@ -141,6 +144,48 @@ recovery-smoke:
 	[ -n "$$hits" ] && [ "$$hits" -ge 1 ] || { echo "no child was served from artifacts ($$hits hits)"; exit 1; }; \
 	echo "recovery-smoke: sweep $$sid survived SIGKILL ($$done_n done at kill, $$hits artifact hits after restart)"
 
+# Analytic-estimate smoke: boot simd, query POST /v1/estimate twice (the
+# second must be a cache hit), then run the matching full job over a
+# measure window equal to the calibration window and require the
+# estimate's young_ipc to agree with the simulated mean_ipc — equal
+# windows make the two measurements the same simulation, so they must
+# agree to float round-off, not just to the error bound.
+ESTIMATE_ADDR = 127.0.0.1:18082
+ESTIMATE_CFG = "config":{"llc_sets":256,"scale":0.15,"l2_size_kb":64,"epoch_cycles":200000,"policy":"BH","endurance_mean":20000},"warmup_cycles":100000
+ESTIMATE_BODY = {$(ESTIMATE_CFG),"calibration_cycles":600000}
+ESTIMATE_JOB = {$(ESTIMATE_CFG),"measure_cycles":600000}
+estimate-smoke:
+	@$(GO) build -o simd-estimate ./cmd/simd
+	@./simd-estimate -addr $(ESTIMATE_ADDR) >/dev/null 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; rm -f simd-estimate' EXIT; \
+	ok=; for i in $$(seq 1 50); do \
+		curl -fs http://$(ESTIMATE_ADDR)/healthz >/dev/null 2>&1 && ok=1 && break; sleep 0.1; \
+	done; \
+	[ -n "$$ok" ] || { echo "simd never came up"; exit 1; }; \
+	first=$$(curl -fs -X POST -d '$(ESTIMATE_BODY)' http://$(ESTIMATE_ADDR)/v1/estimate); \
+	young=$$(echo "$$first" | sed -n 's/.*"young_ipc": *\([0-9.e+-]*\).*/\1/p' | head -1); \
+	[ -n "$$young" ] || { echo "estimate returned no young_ipc: $$first"; exit 1; }; \
+	hit=$$(curl -fs -X POST -d '$(ESTIMATE_BODY)' http://$(ESTIMATE_ADDR)/v1/estimate \
+		| sed -n 's/.*"cache_hit": *\(true\|false\).*/\1/p' | head -1); \
+	[ "$$hit" = true ] || { echo "repeat estimate was not a cache hit"; exit 1; }; \
+	id=$$(curl -fs -X POST -d '$(ESTIMATE_JOB)' http://$(ESTIMATE_ADDR)/v1/jobs \
+		| sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1); \
+	[ -n "$$id" ] || { echo "job submission returned no id"; exit 1; }; \
+	state=; for i in $$(seq 1 150); do \
+		state=$$(curl -fs http://$(ESTIMATE_ADDR)/v1/jobs/$$id \
+			| sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -1); \
+		[ "$$state" = completed ] && break; sleep 0.2; \
+	done; \
+	[ "$$state" = completed ] || { echo "job $$id ended in state '$$state'"; exit 1; }; \
+	mean=$$(curl -fs http://$(ESTIMATE_ADDR)/v1/jobs/$$id \
+		| sed -n 's/.*"mean_ipc": *\([0-9.e+-]*\).*/\1/p' | head -1); \
+	[ -n "$$mean" ] || { echo "completed job carries no mean_ipc"; exit 1; }; \
+	awk -v y="$$young" -v m="$$mean" 'BEGIN { \
+		d = y - m; if (d < 0) d = -d; \
+		if (m == 0 || d / m > 1e-6) { printf "young_ipc %s disagrees with mean_ipc %s\n", y, m; exit 1 } }' \
+		|| exit 1; \
+	echo "estimate-smoke: cached estimate agrees with the simulated IPC ($$young vs $$mean)"
+
 # Tournament smoke: the policy league table on the quick preset, run
 # twice — the standings must be byte-identical (league determinism is an
 # acceptance guarantee, not a best effort).
@@ -171,6 +216,11 @@ bench:
 bench-parallel:
 	$(GO) run ./cmd/bench -parallel -quick -shards 1,2,4 -measure 2000000 -out BENCH_parallel.json
 
+# POST /v1/estimate fast-path latency and allocation gate: fails when the
+# cached p50 reaches 1 ms or a cache lookup allocates.
+bench-estimate:
+	$(GO) run ./cmd/bench -estimate -out BENCH_estimate.json
+
 # Full go-test benchmark suite: one benchmark per paper table/figure,
 # plus the ablation/extension benches and the substrate microbenchmarks.
 bench-go:
@@ -200,5 +250,5 @@ experiments:
 	$(GO) run ./cmd/energy     -mixes 1,4,6,8           > results/energy.txt
 
 clean:
-	rm -f test_output.txt bench_output.txt BENCH_hotpath.json BENCH_parallel.json simd-smoke simd-recovery tournament-smoke-1.txt tournament-smoke-2.txt
+	rm -f test_output.txt bench_output.txt BENCH_hotpath.json BENCH_parallel.json BENCH_estimate.json simd-smoke simd-recovery simd-estimate tournament-smoke-1.txt tournament-smoke-2.txt
 	rm -rf recovery-smoke-data

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/server"
+)
+
+// estimateBody is the benchmarked query: a quick config whose
+// calibration takes well under a second, so the measured path is the
+// cached one the latency budget applies to.
+const estimateBody = `{
+  "config": {"llc_sets": 256, "scale": 0.15, "l2_size_kb": 64, "epoch_cycles": 200000,
+             "policy": "BH", "endurance_mean": 20000},
+  "warmup_cycles": 100000,
+  "calibration_cycles": 300000
+}`
+
+// estimateBudget is the latency the cached POST /v1/estimate path must
+// hold: the analytic fast path's whole point is answering before a
+// simulation could even warm up.
+const estimateBudget = time.Millisecond
+
+// estimateBench measures the POST /v1/estimate fast path end to end —
+// HTTP round trip over a loopback listener, cached calibration — and
+// the estimator's in-process Lookup allocation count. It returns an
+// error when the p50 exceeds the 1 ms budget or Lookup allocates: the
+// bench is the regression gate, not just a report.
+func estimateBench(iters int) (*report.Report, error) {
+	m, err := server.NewManager(server.Options{Workers: 2})
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	srv := httptest.NewServer(server.NewHandler(m, nil))
+	defer srv.Close()
+
+	post := func() (time.Duration, error) {
+		t0 := time.Now()
+		resp, err := http.Post(srv.URL+"/v1/estimate", "application/json", strings.NewReader(estimateBody))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("estimate returned %d", resp.StatusCode)
+		}
+		return time.Since(t0), nil
+	}
+
+	calibration, err := post() // first query calibrates
+	if err != nil {
+		return nil, err
+	}
+	lat := make([]time.Duration, iters)
+	for i := range lat {
+		if lat[i], err = post(); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50 := lat[len(lat)/2]
+	p99 := lat[len(lat)*99/100]
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+
+	// The in-process fast path under the handler: a cached Lookup must
+	// not touch the heap.
+	spec, err := server.DecodeEstimateSpec([]byte(estimateBody))
+	if err != nil {
+		return nil, err
+	}
+	key := spec.CacheKey()
+	est := m.Estimator()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := est.Lookup(key); !ok {
+			panic("bench: calibration evicted mid-run")
+		}
+	})
+
+	rep := report.NewReport("bench: POST /v1/estimate fast path")
+	tab := report.New("cached-estimate latency over loopback HTTP",
+		"iters", "calibration_ms", "p50_us", "p99_us", "mean_us", "budget_us", "lookup_allocs")
+	tab.AddRow(iters,
+		fmt.Sprintf("%.2f", float64(calibration.Microseconds())/1e3),
+		fmt.Sprintf("%.1f", float64(p50.Nanoseconds())/1e3),
+		fmt.Sprintf("%.1f", float64(p99.Nanoseconds())/1e3),
+		fmt.Sprintf("%.1f", float64(sum.Nanoseconds())/float64(iters)/1e3),
+		fmt.Sprintf("%.1f", float64(estimateBudget.Nanoseconds())/1e3),
+		allocs)
+	rep.AddTable(tab)
+
+	if p50 >= estimateBudget {
+		return rep, fmt.Errorf("cached estimate p50 %v exceeds the %v budget", p50, estimateBudget)
+	}
+	if allocs != 0 {
+		return rep, fmt.Errorf("estimator Lookup allocates %.1f times per call, want 0", allocs)
+	}
+	return rep, nil
+}

@@ -39,6 +39,8 @@ func main() {
 	measure := flag.Uint64("measure", 0, "measured cycles (0 = preset default)")
 	seed := flag.Uint64("seed", 1, "workload and endurance seed")
 	parallel := flag.Bool("parallel", false, "bench the set-sharded engine's scaling curve instead of the hot path")
+	estimate := flag.Bool("estimate", false, "bench the POST /v1/estimate cached fast path instead of the hot path (gates: p50 < 1 ms, 0 allocs per cache lookup)")
+	estIters := flag.Int("estimate-iters", 2000, "cached-estimate requests to measure with -estimate")
 	shardsArg := flag.String("shards", "", "comma-separated shard counts for -parallel (default 1..GOMAXPROCS)")
 	out := flag.String("out", "", `JSON report path ("" selects BENCH_hotpath.json, or BENCH_parallel.json with -parallel; "none" disables)`)
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep")
@@ -77,7 +79,15 @@ func main() {
 	var results []cliutil.TaskResult
 	var equivErr error
 	defaultOut := "BENCH_hotpath.json"
-	if *parallel {
+	if *estimate {
+		defaultOut = "BENCH_estimate.json"
+		var err error
+		rep, err = estimateBench(*estIters)
+		if rep == nil {
+			fatal(err)
+		}
+		equivErr = err // report first, then fail the gate
+	} else if *parallel {
 		defaultOut = "BENCH_parallel.json"
 		var shardList []int
 		if *shardsArg != "" {

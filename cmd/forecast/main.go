@@ -46,6 +46,7 @@ func main() {
 	step := flag.Float64("step", 0.025, "capacity drop per prediction phase")
 	rotate := flag.Bool("rotate", false, "enable Start-Gap-style inter-set wear leveling")
 	shards := flag.Int("shards", 1, "set shards; >1 forecasts on the parallel engine (bit-identical for any count)")
+	analyticFast := flag.Bool("analytic", false, "use the analytic fast path: one calibration window per cell instead of the full forecast loop (-warmup sizes the warm-up, -phase the calibration window)")
 	csvOut := flag.Bool("csv", false, "emit CSV")
 	jsonOut := flag.Bool("json", false, "emit JSON")
 	flag.Parse()
@@ -80,7 +81,13 @@ func main() {
 	fcfg.CapacityStep = *step
 	fcfg.InterSetRotation = *rotate
 
-	fs, results, err := experiments.ForecastComparison(cfg, specs, mixes, fcfg)
+	var fs []experiments.PolicyForecast
+	var results []cliutil.TaskResult
+	if *analyticFast {
+		fs, results, err = experiments.AnalyticComparison(cfg, specs, mixes, *warm, *phase)
+	} else {
+		fs, results, err = experiments.ForecastComparison(cfg, specs, mixes, fcfg)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -91,10 +98,23 @@ func main() {
 		bound = up.InitialIPC
 	}
 
-	rep := report.NewReport("forecast: lifetime and IPC evolution")
+	// Exact lifetime × IPC Pareto frontier over the curve set (zero
+	// margins — these are measured numbers, not estimates; the sweep
+	// planner applies error margins to the same helper).
+	pts := make([]experiments.ParetoPoint, len(fs))
+	for i, pf := range fs {
+		pts[i] = experiments.ParetoPoint{Lifetime: pf.MeanLifetimeMonths, IPC: pf.InitialIPC}
+	}
+	frontier := experiments.ParetoFrontier(pts)
+
+	title := "forecast: lifetime and IPC evolution"
+	if *analyticFast {
+		title = "forecast (analytic fast path): lifetime and IPC estimates"
+	}
+	rep := report.NewReport(title)
 	summary := report.New("lifetime to 50% NVM capacity",
-		"policy", "ipc_t0", "norm_ipc", "lifetime_months", "censored_mixes")
-	for _, pf := range fs {
+		"policy", "ipc_t0", "norm_ipc", "lifetime_months", "censored_mixes", "pareto")
+	for i, pf := range fs {
 		life := "inf"
 		if !math.IsInf(pf.MeanLifetimeMonths, 1) {
 			life = fmt.Sprintf("%.1f", pf.MeanLifetimeMonths)
@@ -103,7 +123,7 @@ func main() {
 		if bound > 0 {
 			norm = fmt.Sprintf("%.4f", pf.InitialIPC/bound)
 		}
-		summary.AddRow(pf.Label, pf.InitialIPC, norm, life, pf.CensoredMixes)
+		summary.AddRow(pf.Label, pf.InitialIPC, norm, life, pf.CensoredMixes, frontier[i])
 	}
 	rep.AddTable(summary)
 

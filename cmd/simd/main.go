@@ -7,6 +7,13 @@
 //	curl -s localhost:8080/v1/jobs -d '{"config":{"policy":"CP_SD"}}'
 //	curl -s localhost:8080/v1/jobs/job-000001
 //	curl -sN localhost:8080/v1/jobs/job-000001/epochs
+//	curl -s localhost:8080/v1/estimate -d '{"config":{"policy":"CP_SD"}}'
+//
+// POST /v1/estimate is the synchronous analytic fast path: one short
+// calibration simulation on the first query for a config, sub-millisecond
+// cached answers after that (lifetime, young IPC, validated error
+// bounds). Sweeps can opt in with "plan": "analytic" to simulate only
+// the estimated Pareto frontier of their expansion.
 //
 // SIGINT/SIGTERM drains gracefully: the listener stops accepting,
 // queued and running jobs finish (up to -drain), then the process

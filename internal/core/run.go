@@ -8,6 +8,7 @@ import (
 	"repro/internal/hier"
 	"repro/internal/hybrid"
 	"repro/internal/metrics"
+	"repro/internal/nvm"
 	"repro/internal/shard"
 )
 
@@ -89,6 +90,34 @@ func (h *RunHandle) Capacity() float64 {
 		return h.engine.EffectiveCapacityFraction()
 	}
 	return h.sys.LLC().EffectiveCapacityFraction()
+}
+
+// Frames returns the NVM frames in stable set-major order (nil for
+// SRAM-only configurations) — the order forecast.AgeFrames needs for a
+// bit-identical aging trajectory regardless of the engine kind. The
+// frames are live simulation state: callers must only touch them while
+// the handle is quiescent (between MeasureCtx calls).
+func (h *RunHandle) Frames() []*nvm.Frame {
+	if h.engine != nil {
+		return h.engine.Frames()
+	}
+	if arr := h.sys.LLC().Array(); arr != nil {
+		return arr.Frames()
+	}
+	return nil
+}
+
+// ResetPhase clears the per-frame phase write counters, starting a fresh
+// measurement window for the analytic aging model (a no-op for SRAM-only
+// configurations).
+func (h *RunHandle) ResetPhase() {
+	if h.engine != nil {
+		h.engine.ResetPhase()
+		return
+	}
+	if arr := h.sys.LLC().Array(); arr != nil {
+		arr.ResetPhase()
+	}
 }
 
 // PreAge wears the NVM array to the target capacity fraction (PreAge /

@@ -125,6 +125,14 @@ func ForecastComparison(base core.Config, specs []ForecastSpec, mixes []int, fcf
 		}}
 	}
 	taskResults := runTasks(tasks)
+	return aggregateForecasts(specs, mixes, results, taskResults), taskResults, nil
+}
+
+// aggregateForecasts folds per-cell forecast results into per-policy
+// aggregates, dropping failed cells. Shared by the full forecast
+// comparison and its analytic fast-path counterpart, which synthesizes
+// one-point forecast.Results from calibrations.
+func aggregateForecasts(specs []ForecastSpec, mixes []int, results []forecast.Result, taskResults []cliutil.TaskResult) []PolicyForecast {
 	out := make([]PolicyForecast, 0, len(specs))
 	for si, spec := range specs {
 		pf := PolicyForecast{Label: spec.Label}
@@ -160,7 +168,7 @@ func ForecastComparison(base core.Config, specs []ForecastSpec, mixes []int, fcf
 		}
 		out = append(out, pf)
 	}
-	return out, taskResults, nil
+	return out
 }
 
 // IPCAt returns the across-mix mean IPC of a policy at an absolute time,

@@ -298,12 +298,26 @@ func Age(arr *nvm.Array, phaseSeconds, stopCapacity, maxSeconds float64) (elapse
 // order gives a bit-identical trajectory regardless of how the frames
 // are partitioned across shard arrays.
 func AgeFrames(frames []*nvm.Frame, phaseSeconds, stopCapacity, maxSeconds float64) (elapsed, capacity float64) {
+	rates := make([]float64, len(frames))
+	for i, f := range frames {
+		rates[i] = float64(f.PhaseWritten()) / phaseSeconds
+	}
+	return AgeFramesAtRates(frames, rates, stopCapacity, maxSeconds)
+}
+
+// AgeFramesAtRates is AgeFrames with the per-frame byte rates supplied
+// by the caller instead of read from the frames' phase counters. The
+// analytic fast path (internal/analytic) uses it to age under model
+// rates — e.g. the uniform-redistribution fallback for policies whose
+// calibration window concentrates writes on too few frames to ever
+// reach the target capacity at frozen per-frame rates.
+func AgeFramesAtRates(frames []*nvm.Frame, rates []float64, stopCapacity, maxSeconds float64) (elapsed, capacity float64) {
 	agers := make([]frameAger, len(frames))
 	h := make(ageHeap, 0, len(frames))
 	totalUnits := float64(len(frames) * nvm.DataBytes)
 	capUnits := 0
 	for i, f := range frames {
-		agers[i] = frameAger{f: f, rate: float64(f.PhaseWritten()) / phaseSeconds}
+		agers[i] = frameAger{f: f, rate: rates[i]}
 		capUnits += f.EffectiveCapacity()
 		if d := agers[i].nextDeath(); !math.IsInf(d, 1) {
 			h = append(h, ageEvent{d, i})

@@ -43,3 +43,33 @@ func FuzzSweepSpecDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzEstimateSpecDecode fuzzes the POST /v1/estimate boundary: decode
+// must never panic, and a document it accepts must yield a validated
+// spec whose cache key is well-formed — the key names a store artifact,
+// so a malformed one would let a hostile body write outside the
+// estimate namespace. Checked-in seeds live under
+// testdata/fuzz/FuzzEstimateSpecDecode.
+func FuzzEstimateSpecDecode(f *testing.F) {
+	f.Add(estimateTestBody)
+	f.Add(`{}`)
+	f.Add(`{"config":{"policy":"CP_SD","shards":4},"target_capacity":0.3}`)
+	f.Add(`{"calibration_cycles":0}`)
+	f.Add(`{"target_capacity":1.5}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		spec, err := DecodeEstimateSpec([]byte(doc))
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec fails validation: %v (body %q)", err, doc)
+		}
+		key := spec.CacheKey()
+		if !strings.HasPrefix(key, "est-") || len(key) != len("est-")+64 {
+			t.Fatalf("malformed cache key %q (body %q)", key, doc)
+		}
+		if strings.ContainsAny(key[4:], "/\\.") {
+			t.Fatalf("cache key %q escapes the artifact namespace (body %q)", key, doc)
+		}
+	})
+}

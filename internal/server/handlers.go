@@ -31,6 +31,8 @@ const maxBodyBytes = 1 << 20
 //	GET  /v1/jobs/{id}/report the bare report artifact, byte-identical
 //	                          to the equivalent cmd/hybridsim output
 //	GET  /v1/jobs/{id}/epochs live epoch stream (NDJSON; SSE negotiated)
+//	POST /v1/estimate         analytic fast-path estimate (synchronous;
+//	                          sub-millisecond once calibrated)
 //	POST /v1/sweeps           submit a batch sweep (202)
 //	GET  /v1/sweeps           list sweep statuses
 //	GET  /v1/sweeps/{id}      sweep status with per-child rows
@@ -49,6 +51,7 @@ func NewHandler(m *Manager, log *slog.Logger) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/jobs/{id}/epochs", s.handleEpochs)
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	mux.HandleFunc("GET /v1/sweeps", s.handleSweeps)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
@@ -353,6 +356,34 @@ func (s *apiServer) handleEpochs(w http.ResponseWriter, r *http.Request) {
 		case <-notify:
 		}
 	}
+}
+
+// handleEstimate answers an analytic estimate synchronously: a cached
+// calibration (memory or store artifact) is served in well under a
+// millisecond; a miss runs the short calibration simulation on this
+// request and is refused while draining. The response is a pure
+// function of the spec, so repeat queries are byte-identical.
+func (s *apiServer) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	spec, err := DecodeEstimateSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.m.Estimate(r.Context(), spec)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleSubmitSweep decodes a sweep spec strictly, expands it

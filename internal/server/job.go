@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analytic"
 	"repro/internal/core"
 	"repro/internal/metrics"
 )
@@ -44,7 +45,8 @@ type Job struct {
 	result    *Result
 	err       error
 	cacheHit  bool
-	lastCkpt  time.Time // last journaled checkpoint (throttling)
+	lastCkpt  time.Time          // last journaled checkpoint (throttling)
+	estimate  *analytic.Estimate // planner's analytic estimate, when planned
 }
 
 func newJob(id string, req JobRequest) *Job {
@@ -209,6 +211,21 @@ func (j *Job) finish(state JobState, res *Result, err error) {
 		j.epochs = res.Epochs
 	}
 	j.wake()
+}
+
+// setEstimate records the planner's analytic estimate for the child.
+func (j *Job) setEstimate(est analytic.Estimate) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.estimate = &est
+}
+
+// Estimate returns the planner's analytic estimate, or nil when the job
+// was never planned analytically.
+func (j *Job) Estimate() *analytic.Estimate {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.estimate
 }
 
 // Result returns the completed result, or nil while the job is not

@@ -13,8 +13,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analytic"
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/jobstore"
 	"repro/internal/metrics"
 )
@@ -80,6 +82,7 @@ type Manager struct {
 	opts       Options
 	log        *slog.Logger
 	cache      *resultCache
+	est        *analytic.Estimator
 	store      *jobstore.Store
 	queue      chan *Job
 	drainc     chan struct{} // closed when draining starts
@@ -97,19 +100,23 @@ type Manager struct {
 	seq      uint64
 	sweepSeq uint64
 
-	submitted    atomic.Uint64
-	completed    atomic.Uint64
-	failed       atomic.Uint64
-	canceled     atomic.Uint64
-	retried      atomic.Uint64
-	recovered    atomic.Uint64
-	cacheHits    atomic.Uint64
-	cacheMisses  atomic.Uint64
-	queueRejects atomic.Uint64
-	sweepsSubd   atomic.Uint64
-	sweepsDone   atomic.Uint64
-	running      atomic.Int64
-	meanNanos    atomic.Uint64 // EWMA of job wall time, as float64 bits
+	submitted       atomic.Uint64
+	completed       atomic.Uint64
+	failed          atomic.Uint64
+	canceled        atomic.Uint64
+	retried         atomic.Uint64
+	recovered       atomic.Uint64
+	screened        atomic.Uint64
+	cacheHits       atomic.Uint64
+	cacheMisses     atomic.Uint64
+	queueRejects    atomic.Uint64
+	sweepsSubd      atomic.Uint64
+	sweepsDone      atomic.Uint64
+	estimates       atomic.Uint64
+	estCalibrations atomic.Uint64
+	estCacheHits    atomic.Uint64
+	running         atomic.Int64
+	meanNanos       atomic.Uint64 // EWMA of job wall time, as float64 bits
 
 	// beforeRun, when set, runs on the worker goroutine after a job is
 	// claimed and before it simulates. Tests use it to hold a worker busy
@@ -160,6 +167,7 @@ func NewManager(opts Options) (*Manager, error) {
 		rootCancel: cancel,
 		jobs:       make(map[string]*Job),
 		sweeps:     make(map[string]*Sweep),
+		est:        analytic.NewEstimator(nil),
 	}
 	m.reg = metrics.NewRegistry()
 	counter := func(name string, v *atomic.Uint64) {
@@ -176,9 +184,14 @@ func NewManager(opts Options) (*Manager, error) {
 	counter("server.queue.rejects", &m.queueRejects)
 	counter("server.sweeps.submitted", &m.sweepsSubd)
 	counter("server.sweeps.completed", &m.sweepsDone)
+	counter("server.jobs.screened", &m.screened)
+	counter("server.estimates.requested", &m.estimates)
+	counter("server.estimates.calibrations", &m.estCalibrations)
+	counter("server.estimates.cache_hits", &m.estCacheHits)
 	m.reg.GaugeFunc("server.queue.depth", func() float64 { return float64(len(m.queue)) })
 	m.reg.GaugeFunc("server.jobs.running", func() float64 { return float64(m.running.Load()) })
 	m.reg.GaugeFunc("server.cache.entries", func() float64 { return float64(m.cache.len()) })
+	m.reg.GaugeFunc("server.estimates.cached", func() float64 { return float64(m.est.Len()) })
 	if m.store != nil {
 		m.reg.GaugeFunc("server.store.artifacts", func() float64 { return float64(m.store.CountArtifacts()) })
 	}
@@ -409,6 +422,9 @@ func (m *Manager) nextIDLocked() string {
 // the same store resumes it.
 func (m *Manager) runSweep(sw *Sweep, jobs []*Job) {
 	defer m.wg.Done()
+	if sw.spec.Plan == PlanAnalytic {
+		m.planSweep(sw, jobs)
+	}
 	sem := make(chan struct{}, sw.spec.concurrency())
 	var watchers sync.WaitGroup
 	aborted := false
@@ -452,6 +468,76 @@ func (m *Manager) runSweep(sw *Sweep, jobs []*Job) {
 		}
 		m.log.Info("sweep finished", "sweep", sw.id, "state", state, "children", len(sw.Children()))
 	}
+}
+
+// planSweep is the coarse-to-fine screen: it estimates every pending
+// child with the analytic fast path (in parallel, at the sweep's own
+// concurrency cap) and retires — state "screened", never simulated —
+// each child that another child safely dominates on the lifetime × IPC
+// plane beyond the estimates' combined error bounds. The planner fails
+// open: a child whose estimate errors (or is refused by a drain) is
+// simply kept, because screening must never cost a result it cannot
+// prove redundant. Estimates are attached to kept children too, so the
+// sweep status reports analytic-vs-simulated deltas per child.
+func (m *Manager) planSweep(sw *Sweep, jobs []*Job) {
+	ests := make([]*analytic.Estimate, len(jobs))
+	tasks := make([]cliutil.Task, 0, len(jobs))
+	for i, j := range jobs {
+		if j.State().Terminal() {
+			continue
+		}
+		i, j := i, j
+		tasks = append(tasks, cliutil.Task{Name: "plan/" + j.id, Run: func() error {
+			resp, err := m.Estimate(m.rootCtx, sw.spec.planSpec(j.req))
+			if err != nil {
+				return err
+			}
+			est := resp.Estimate
+			ests[i] = &est
+			j.setEstimate(est)
+			return nil
+		}})
+	}
+	if len(tasks) == 0 {
+		return
+	}
+	results := cliutil.RunTasks(tasks, cliutil.PoolConfig{Workers: sw.spec.concurrency()})
+	for _, r := range results {
+		if r.Failed() {
+			m.log.Warn("sweep plan estimate failed, keeping child", "sweep", sw.id,
+				"task", r.Name, "err", r.Err)
+		}
+	}
+
+	idx := make([]int, 0, len(jobs))
+	pts := make([]experiments.ParetoPoint, 0, len(jobs))
+	for i, est := range ests {
+		if est == nil {
+			continue
+		}
+		life := est.LifetimeMonths
+		if est.Censored {
+			life = math.Inf(1)
+		}
+		pts = append(pts, experiments.ParetoPoint{
+			Lifetime:       life,
+			IPC:            est.YoungIPC,
+			LifetimeMargin: est.LifetimeErrorBound,
+			IPCMargin:      est.IPCErrorBound,
+		})
+		idx = append(idx, i)
+	}
+	keep := experiments.ParetoFrontier(pts)
+	screened := 0
+	for k, onFrontier := range keep {
+		if onFrontier {
+			continue
+		}
+		m.finishJob(jobs[idx[k]], StateScreened, nil, nil, cliutil.TaskResult{})
+		screened++
+	}
+	m.log.Info("sweep planned", "sweep", sw.id, "estimated", len(pts),
+		"screened", screened, "kept", len(pts)-screened)
 }
 
 // enqueueBlocking queues a job, waiting for space instead of rejecting;
@@ -666,6 +752,10 @@ func (m *Manager) finishJob(j *Job, state JobState, res *Result, err error, outc
 		m.canceled.Add(1)
 		m.journalJob(j, string(StateCanceled), err)
 		m.log.Info("job canceled", "job", j.id, "sweep", j.sweepID)
+	case StateScreened:
+		m.screened.Add(1)
+		m.journalJob(j, string(StateScreened), nil)
+		m.log.Info("job screened by analytic planner", "job", j.id, "sweep", j.sweepID, "label", j.label)
 	default:
 		m.failed.Add(1)
 		m.journalJob(j, string(StateFailed), err)
@@ -865,6 +955,12 @@ func (m *Manager) rebuildJob(rec *jobstore.JobRecord, ownerState string) (j *Job
 	case string(StateFailed):
 		j.finish(StateFailed, nil, errors.New(rec.Error))
 		return j, false
+	case string(StateScreened):
+		// The planner's verdict is final: the dominating sibling's result
+		// is (or will be) in the store, and re-screening after a restart
+		// would re-run every calibration for nothing.
+		j.finish(StateScreened, nil, nil)
+		return j, false
 	case string(StateCanceled):
 		if rec.Sweep != "" && ownerState != string(SweepCompleted) {
 			return j, true // drain-canceled child of a sweep we will resume
@@ -909,6 +1005,10 @@ func (m *Manager) SweepStatus(sw *Sweep, withChildren bool) SweepStatus {
 		cs := j.Status()
 		row := SweepChildStatus{ID: cs.ID, Label: cs.Label, State: cs.State,
 			CacheHit: cs.CacheHit, Attempts: cs.Attempts, Error: cs.Error}
+		if est := j.Estimate(); est != nil {
+			ipc, life := est.YoungIPC, est.LifetimeMonths
+			row.EstIPC, row.EstLifetimeMonths, row.EstCensored = &ipc, &life, est.Censored
+		}
 		switch cs.State {
 		case StateQueued:
 			st.Queued++
@@ -925,6 +1025,8 @@ func (m *Manager) SweepStatus(sw *Sweep, withChildren bool) SweepStatus {
 			st.Failed++
 		case StateCanceled:
 			st.Canceled++
+		case StateScreened:
+			st.Screened++
 		}
 		if cs.CacheHit {
 			st.CacheHits++
