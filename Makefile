@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint fmt-check ci race-shard race-server shard-smoke fuzz-smoke serve server-smoke recovery-smoke estimate-smoke tournament-smoke faultstudy bench bench-parallel bench-estimate bench-go bench-figures validate experiments clean
+.PHONY: all build test vet lint fmt-check ci race-shard race-server shard-smoke fuzz-smoke coloring-smoke serve server-smoke recovery-smoke estimate-smoke tournament-smoke faultstudy bench bench-parallel bench-estimate bench-go bench-figures validate experiments clean
 
 all: build vet test
 
@@ -36,6 +36,7 @@ ci: fmt-check lint build
 	$(MAKE) race-shard
 	$(MAKE) shard-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) coloring-smoke
 	$(MAKE) server-smoke
 	$(MAKE) recovery-smoke
 	$(MAKE) estimate-smoke
@@ -50,7 +51,7 @@ ci: fmt-check lint build
 # daemon rides along — its queue/drain/stream paths are all goroutine
 # hand-offs.
 race-shard:
-	$(GO) test -race -count=2 ./internal/shard ./internal/hybrid ./internal/hier ./internal/server
+	$(GO) test -race -count=2 ./internal/shard ./internal/hybrid ./internal/hier ./internal/server ./internal/coloring
 
 # Shard-equivalence smoke: the differential matrix proving shards=N is
 # bit-identical to shards=1, under the race detector.
@@ -64,6 +65,30 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzTraceParse$$' -fuzztime=10s ./internal/trace
 	$(GO) test -run='^$$' -fuzz='^FuzzSweepSpecDecode$$' -fuzztime=10s ./internal/server
 	$(GO) test -run='^$$' -fuzz='^FuzzEstimateSpecDecode$$' -fuzztime=10s ./internal/server
+	$(GO) test -run='^$$' -fuzz='^FuzzColoringConfigDecode$$' -fuzztime=10s ./internal/core
+
+# Wear-leveling smoke: the wear-feedback coloring on the zipfian
+# set-pressure scenario must cut the measured inter-set wear CoV by at
+# least 30% versus the identical run with coloring off, and must not
+# shorten the lifetime-to-50%-capacity. The checked-in artifacts under
+# results/coloring_smoke_*.json record this exact operating point.
+COLORING_SMOKE = -quick -mix 12 -capacity 0.5 -measure 8000000
+coloring-smoke:
+	@base=$$($(GO) run ./cmd/wearmap $(COLORING_SMOKE) -json); \
+	col=$$($(GO) run ./cmd/wearmap $(COLORING_SMOKE) -coloring wear:interval=2,pairs=32 -json); \
+	bcov=$$(echo "$$base" | sed -n 's/.*"sim_wear_interset_cov": *\([0-9.e+-]*\).*/\1/p' | head -1); \
+	ccov=$$(echo "$$col"  | sed -n 's/.*"sim_wear_interset_cov": *\([0-9.e+-]*\).*/\1/p' | head -1); \
+	bmon=$$(echo "$$base" | sed -n 's/.*"aged_months": *\([0-9.e+-]*\).*/\1/p' | head -1); \
+	cmon=$$(echo "$$col"  | sed -n 's/.*"aged_months": *\([0-9.e+-]*\).*/\1/p' | head -1); \
+	[ -n "$$bcov" ] && [ -n "$$ccov" ] && [ -n "$$bmon" ] && [ -n "$$cmon" ] \
+		|| { echo "coloring-smoke: missing fields (cov $$bcov -> $$ccov, months $$bmon -> $$cmon)"; exit 1; }; \
+	awk -v b="$$bcov" -v c="$$ccov" 'BEGIN { \
+		if (!(c <= 0.7 * b)) { printf "coloring-smoke: inter-set CoV %s -> %s, reduction under 30%%\n", b, c; exit 1 } }' \
+		|| exit 1; \
+	awk -v b="$$bmon" -v c="$$cmon" 'BEGIN { \
+		if (c < b) { printf "coloring-smoke: lifetime to 50%% capacity regressed %s -> %s months\n", b, c; exit 1 } }' \
+		|| exit 1; \
+	echo "coloring-smoke: inter-set CoV $$bcov -> $$ccov, lifetime $$bmon -> $$cmon months"
 
 # Run the simulation daemon on :8080 (see README for the curl quickstart).
 serve:

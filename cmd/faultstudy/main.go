@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/check"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/report"
@@ -29,19 +30,22 @@ type studyOptions struct {
 	Target     float64 // ramp: final effective capacity fraction
 	Step       float64 // ramp: capacity drop per step
 	CheckEvery uint64  // continuous checker interval (0 = step-only checks)
+	Coloring   string  // set-coloring spec ("" = off)
 	Quick      bool
 	Warmup     uint64
 	Measure    uint64
 }
 
 func main() {
+	nMixes := len(core.AllMixes())
 	policy := flag.String("policy", "CP_SD", "insertion policy")
-	mix := flag.Int("mix", 1, "mix number (1-10)")
+	mix := flag.Int("mix", 1, fmt.Sprintf("mix number (1-%d)", nMixes))
 	seed := flag.Uint64("seed", 1, "campaign and workload seed")
 	spec := flag.String("spec", "", "campaign spec JSON file (default: capacity ramp)")
 	target := flag.Float64("target", 0.5, "ramp target effective capacity fraction")
 	step := flag.Float64("step", 0.1, "ramp capacity drop per step")
 	checkEvery := flag.Uint64("checkevery", 10_000, "run the invariant checker every N LLC accesses (0 disables)")
+	coloring := flag.String("coloring", "", `set coloring: "xor:mask=N", "rotate:interval=N,step=N", "wear:interval=N,pairs=N" or "off"`)
 	quick := flag.Bool("quick", false, "small configuration, short windows")
 	warmup := flag.Uint64("warmup", 0, "warm-up cycles (0 = preset default)")
 	measure := flag.Uint64("measure", 0, "measured cycles per step (0 = preset default)")
@@ -49,8 +53,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit JSON")
 	flag.Parse()
 
-	if *mix < 1 || *mix > 10 {
-		fatal(fmt.Errorf("mix %d outside 1-10", *mix))
+	if *mix < 1 || *mix > nMixes {
+		fatal(fmt.Errorf("mix %d outside 1-%d", *mix, nMixes))
 	}
 	opt := studyOptions{
 		Policy:     *policy,
@@ -60,6 +64,7 @@ func main() {
 		Target:     *target,
 		Step:       *step,
 		CheckEvery: *checkEvery,
+		Coloring:   *coloring,
 		Quick:      *quick,
 		Warmup:     *warmup,
 		Measure:    *measure,
@@ -97,7 +102,8 @@ func runStudy(opt studyOptions) (*report.Report, int, error) {
 	cfg.MixID = opt.Mix
 	cfg.Seed = opt.Seed
 	cfg.CheckEvery = opt.CheckEvery
-	if err := cfg.Validate(); err != nil {
+	// ApplyColoring validates the whole config (coloring included).
+	if err := cliutil.ApplyColoring(&cfg, opt.Coloring); err != nil {
 		return nil, 0, err
 	}
 	sys, err := cfg.Build()

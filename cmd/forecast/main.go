@@ -32,7 +32,7 @@ import (
 func main() {
 	cfg := core.DefaultConfig()
 	policies := flag.String("policies", "standard", `comma-separated curve labels, "standard" or "core"`)
-	mixesFlag := flag.String("mixes", "1,4", `comma-separated mix numbers (1-10) or "all"`)
+	mixesFlag := flag.String("mixes", "1,4", fmt.Sprintf(`comma-separated mix numbers (1-%d) or "all"`, len(core.AllMixes())))
 	sram := flag.Int("sram", cfg.SRAMWays, "SRAM ways")
 	nvmWays := flag.Int("nvm", cfg.NVMWays, "NVM ways")
 	cv := flag.Float64("cv", cfg.EnduranceCV, "endurance coefficient of variation")
@@ -45,6 +45,7 @@ func main() {
 	warm := flag.Uint64("warmup", 2_000_000, "warm-up cycles per phase")
 	step := flag.Float64("step", 0.025, "capacity drop per prediction phase")
 	rotate := flag.Bool("rotate", false, "enable Start-Gap-style inter-set wear leveling")
+	coloring := flag.String("coloring", "", `set coloring: "xor:mask=N", "rotate:interval=N,step=N", "wear:interval=N,pairs=N" or "off"`)
 	shards := flag.Int("shards", 1, "set shards; >1 forecasts on the parallel engine (bit-identical for any count)")
 	analyticFast := flag.Bool("analytic", false, "use the analytic fast path: one calibration window per cell instead of the full forecast loop (-warmup sizes the warm-up, -phase the calibration window)")
 	csvOut := flag.Bool("csv", false, "emit CSV")
@@ -58,6 +59,14 @@ func main() {
 	cfg.NVMLatencyFactor = *nvmlat
 	cfg.Scale = *scale
 	cfg.LLCSets = *sets
+	// Both mechanisms remap set indices; layering them would make the wear
+	// attribution ambiguous, so the combination is rejected outright.
+	if *rotate && *coloring != "" && *coloring != "off" {
+		fatal(fmt.Errorf("-rotate and -coloring are mutually exclusive wear-leveling mechanisms"))
+	}
+	if err := cliutil.ApplyColoring(&cfg, *coloring); err != nil {
+		fatal(err)
+	}
 	if err := cliutil.ApplyShards(&cfg, *shards, cliutil.ShardIncompat{
 		When: *rotate,
 		Flag: "-rotate",

@@ -37,7 +37,7 @@ func main() {
 	configPath := flag.String("config", "", "load a core.Config JSON file (flags set explicitly still override)")
 	tracePrefix := flag.String("trace", "", "replay recorded traces from prefix.coreN.trc instead of live generation")
 	policyName := flag.String("policy", def.PolicyName, "insertion policy (SRAM16, SRAM4, BH, BH_CP, CA, CA_RWR, CP_SD, CP_SD_Th, LHybrid, TAP)")
-	mix := flag.Int("mix", 1, "Table V mix number (1-10)")
+	mix := flag.Int("mix", 1, fmt.Sprintf("mix number (1-%d: Table V plus skewed-traffic scenarios)", len(core.AllMixes())))
 	seed := flag.Uint64("seed", def.Seed, "deterministic seed")
 	scale := flag.Float64("scale", def.Scale, "workload footprint scale")
 	sets := flag.Int("sets", def.LLCSets, "LLC sets")
@@ -60,6 +60,7 @@ func main() {
 	rrip := flag.Bool("rrip", false, "use fit-RRIP NVM replacement instead of fit-LRU")
 	checkEvery := flag.Uint64("checkevery", 0, "run the invariant checker every N LLC accesses (0 disables)")
 	shards := flag.Int("shards", 1, "set shards; >1 runs the parallel engine (bit-identical for any count)")
+	coloring := flag.String("coloring", "", `set coloring: "xor:mask=N", "rotate:interval=N,step=N", "wear:interval=N,pairs=N" or "off"`)
 	flag.Parse()
 
 	cfg := def
@@ -79,6 +80,7 @@ func main() {
 	if shardCount < 1 {
 		shardCount = 1
 	}
+	coloringSet := false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "policy":
@@ -115,8 +117,17 @@ func main() {
 			cfg.CheckEvery = *checkEvery
 		case "shards":
 			shardCount = *shards
+		case "coloring":
+			coloringSet = true
 		}
 	})
+	// An explicit -coloring flag replaces (or with "off", clears) any
+	// coloring block loaded from -config; ApplyColoring validates.
+	if coloringSet {
+		if err := cliutil.ApplyColoring(&cfg, *coloring); err != nil {
+			fatal(err)
+		}
+	}
 	if err := cliutil.ApplyShards(&cfg, shardCount, cliutil.ShardIncompat{
 		When: *tracePrefix != "",
 		Flag: "-trace",

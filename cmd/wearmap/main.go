@@ -1,14 +1,16 @@
 // Command wearmap runs a simulation, ages the NVM array to a target
 // capacity with the measured write-rate distribution, and reports how the
-// wear and faults are distributed across frames — the view a device
-// architect uses to judge wear-leveling quality. The device-level
-// aggregates come from the metrics registry's nvm.array.* subtree.
-// Optionally dumps the full NVM state (fault maps, wear, endurance
-// limits) to a snapshot file.
+// wear and faults are distributed across frames and across sets — the
+// view a device architect uses to judge wear-leveling quality. The
+// device-level aggregates come from the metrics registry's nvm.array.*
+// subtree, including the wear-variation family (inter-set and intra-set
+// CoV, min/max frame wear, Gini). Optionally dumps the full NVM state
+// (fault maps, wear, endurance limits) to a snapshot file.
 //
 //	wearmap -policy CP_SD -capacity 0.8
+//	wearmap -quick -mix 11 -coloring wear:interval=1,pairs=32
 //	wearmap -policy BH -capacity 0.9 -state bh.nvmstate
-//	wearmap -json | jq .fields.wear_imbalance
+//	wearmap -json | jq .fields.wear_interset_cov
 package main
 
 import (
@@ -17,42 +19,106 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/forecast"
+	"repro/internal/nvm"
 	"repro/internal/report"
 )
 
+// options carries everything run needs, so the golden-file test can
+// drive the full pipeline without going through flag parsing.
+type options struct {
+	Policy    string
+	Mix       int // 0-based
+	Seed      uint64
+	Capacity  float64
+	Warmup    uint64 // 0 = preset default
+	Measure   uint64 // 0 = preset default
+	Coloring  string // set-coloring spec ("" = off)
+	Quick     bool
+	StatePath string
+}
+
 func main() {
-	cfg := core.DefaultConfig()
-	policyName := flag.String("policy", cfg.PolicyName, "insertion policy")
-	mix := flag.Int("mix", 1, "Table V mix number (1-10)")
+	def := core.DefaultConfig()
+	nMixes := len(core.AllMixes())
+	policyName := flag.String("policy", def.PolicyName, "insertion policy")
+	mix := flag.Int("mix", 1, fmt.Sprintf("mix number (1-%d: Table V plus skewed-traffic scenarios)", nMixes))
+	seed := flag.Uint64("seed", def.Seed, "deterministic seed")
 	capacity := flag.Float64("capacity", 0.8, "age until this capacity fraction")
-	measure := flag.Uint64("measure", 8_000_000, "cycles to measure write rates over")
+	warmup := flag.Uint64("warmup", 0, "warm-up cycles (0 = preset default)")
+	measure := flag.Uint64("measure", 0, "cycles to measure write rates over (0 = preset default)")
+	coloring := flag.String("coloring", "", `set coloring: "xor:mask=N", "rotate:interval=N,step=N", "wear:interval=N,pairs=N" or "off"`)
+	quick := flag.Bool("quick", false, "small configuration, short windows")
 	statePath := flag.String("state", "", "write the aged NVM state snapshot to this file")
 	csvOut := flag.Bool("csv", false, "emit CSV")
 	jsonOut := flag.Bool("json", false, "emit JSON")
 	flag.Parse()
 
-	cfg.PolicyName = *policyName
-	cfg.MixID = *mix - 1
-	if err := cfg.Validate(); err != nil {
-		fatal(err)
+	if *mix < 1 || *mix > nMixes {
+		fatal(fmt.Errorf("mix %d outside 1-%d", *mix, nMixes))
 	}
-	sys, err := cfg.Build()
+	rep, err := run(options{
+		Policy:    *policyName,
+		Mix:       *mix - 1,
+		Seed:      *seed,
+		Capacity:  *capacity,
+		Warmup:    *warmup,
+		Measure:   *measure,
+		Coloring:  *coloring,
+		Quick:     *quick,
+		StatePath: *statePath,
+	})
 	if err != nil {
 		fatal(err)
 	}
+	if err := rep.Write(os.Stdout, report.FormatOf(*jsonOut, *csvOut)); err != nil {
+		fatal(err)
+	}
+}
+
+// run executes the measure-then-age pipeline and builds the report.
+func run(opt options) (*report.Report, error) {
+	cfg := core.DefaultConfig()
+	warmup, measure := uint64(2_000_000), uint64(8_000_000)
+	if opt.Quick {
+		cfg = core.QuickConfig()
+		warmup, measure = 300_000, 1_000_000
+	}
+	if opt.Warmup > 0 {
+		warmup = opt.Warmup
+	}
+	if opt.Measure > 0 {
+		measure = opt.Measure
+	}
+	cfg.PolicyName = opt.Policy
+	cfg.MixID = opt.Mix
+	cfg.Seed = opt.Seed
+	// ApplyColoring validates the whole config (coloring included).
+	if err := cliutil.ApplyColoring(&cfg, opt.Coloring); err != nil {
+		return nil, err
+	}
+	sys, err := cfg.Build()
+	if err != nil {
+		return nil, err
+	}
 	arr := sys.LLC().Array()
 	if arr == nil {
-		fatal(fmt.Errorf("policy %s has no NVM part", *policyName))
+		return nil, fmt.Errorf("policy %s has no NVM part", opt.Policy)
 	}
 
 	// Measure real per-frame write rates, then age with them.
-	sys.Run(2_000_000)
+	sys.Run(warmup)
 	arr.ResetPhase()
-	st := sys.Run(*measure)
+	st := sys.Run(measure)
+	// Wear variation of the simulated window itself, before aging: aging
+	// runs frames into their endurance limits, which truncates the wear
+	// distribution and hides the rate imbalance the coloring schemes act
+	// on. These are the numbers wear-leveling quality is judged by.
+	simWV := arr.WearVariation()
 	seconds := float64(st.Cycles) / 3.5e9
-	elapsed, cap := forecast.Age(arr, seconds, *capacity, 1e18)
+	elapsed, capFrac := forecast.Age(arr, seconds, opt.Capacity, 1e18)
 	sys.LLC().InvalidateUnfit()
 
 	// Distribution of per-frame live bytes and wear.
@@ -69,10 +135,13 @@ func main() {
 	pctF := func(xs []float64, p float64) float64 { return xs[int(p*float64(len(xs)-1))] }
 
 	rep := report.NewReport(fmt.Sprintf("NVM wear map: %s mix %d aged to %.0f%% capacity",
-		*policyName, *mix, cap*100))
-	rep.AddField("policy", *policyName)
-	rep.AddField("mix", *mix)
-	rep.AddField("capacity", cap)
+		opt.Policy, opt.Mix+1, capFrac*100))
+	rep.AddField("policy", opt.Policy)
+	rep.AddField("mix", opt.Mix+1)
+	if opt.Coloring != "" && opt.Coloring != "off" {
+		rep.AddField("coloring", opt.Coloring)
+	}
+	rep.AddField("capacity", capFrac)
 	rep.AddField("aged_months", elapsed/forecast.SecondsPerMonth)
 	// Device aggregates, straight from the registry's nvm.array.* subtree.
 	// A fresh snapshot runs the array's aggregation hook, so the gauges
@@ -84,39 +153,84 @@ func main() {
 		{"faulty_bytes", "nvm.array.faulty_bytes"},
 		{"wear_mean", "nvm.array.wear_mean"},
 		{"wear_max", "nvm.array.wear_max"},
+		{"wear_min", "nvm.array.wear_min"},
+		{"wear_interset_cov", "nvm.array.wear_interset_cov"},
+		{"wear_intraset_cov", "nvm.array.wear_intraset_cov"},
+		{"wear_gini", "nvm.array.wear_gini"},
 	} {
 		if v, ok := snap.Gauges[m.metric]; ok {
 			rep.AddField(m.field, v)
 		}
 	}
+	rep.AddField("sim_wear_interset_cov", simWV.InterSetCoV)
+	rep.AddField("sim_wear_intraset_cov", simWV.IntraSetCoV)
+	rep.AddField("sim_wear_gini", simWV.Gini)
 	rep.AddField("dead_frame_fraction", float64(len(frames)-arr.LiveFrames())/float64(len(frames)))
 	// Wear imbalance across frames: p90/median wear; 1.0 = perfectly level.
 	if med := pctF(wear, 0.5); med > 0 {
 		rep.AddField("wear_imbalance", pctF(wear, 0.9)/med)
 	}
 
+	// Per-set heat: mean frame wear per physical set, before sorting the
+	// flat frame slice destroys set identity. The hottest-set table uses
+	// (wear desc, set asc) ordering so ties report deterministically.
+	rowWear := nvm.RowWearInto(make([]float64, cfg.LLCSets), frames, cfg.LLCSets, arr.Ways())
+	for i := range rowWear {
+		rowWear[i] /= float64(arr.Ways())
+	}
+	hot := make([]int, len(rowWear))
+	for i := range hot {
+		hot[i] = i
+	}
+	sort.Slice(hot, func(a, b int) bool {
+		if rowWear[hot[a]] != rowWear[hot[b]] {
+			return rowWear[hot[a]] > rowWear[hot[b]]
+		}
+		return hot[a] < hot[b]
+	})
+	meanRow := 0.0
+	for _, w := range rowWear {
+		meanRow += w
+	}
+	meanRow /= float64(len(rowWear))
+
 	tab := report.New("per-frame distribution", "metric", "p10", "p50", "p90", "max")
 	tab.AddRow("live bytes/frame", pct(live, 0.1), pct(live, 0.5), pct(live, 0.9), live[len(live)-1])
 	tab.AddRow("wear (writes/byte)", pctF(wear, 0.1), pctF(wear, 0.5), pctF(wear, 0.9), wear[len(wear)-1])
+	sortedRow := append([]float64(nil), rowWear...)
+	sort.Float64s(sortedRow)
+	tab.AddRow("set wear (row mean)", pctF(sortedRow, 0.1), pctF(sortedRow, 0.5), pctF(sortedRow, 0.9), sortedRow[len(sortedRow)-1])
 	rep.AddTable(tab)
-	if err := rep.Write(os.Stdout, report.FormatOf(*jsonOut, *csvOut)); err != nil {
-		fatal(err)
-	}
 
-	if *statePath != "" {
-		f, err := os.Create(*statePath)
+	heat := report.New("hottest sets", "rank", "set", "mean_wear", "vs_mean")
+	n := 8
+	if n > len(hot) {
+		n = len(hot)
+	}
+	for i := 0; i < n; i++ {
+		ratio := 0.0
+		if meanRow > 0 {
+			ratio = rowWear[hot[i]] / meanRow
+		}
+		heat.AddRow(i+1, hot[i], rowWear[hot[i]], ratio)
+	}
+	rep.AddTable(heat)
+
+	if opt.StatePath != "" {
+		f, err := os.Create(opt.StatePath)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		if err := arr.WriteSnapshot(f); err != nil {
 			f.Close()
-			fatal(err)
+			return nil, err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "NVM state written to %s\n", *statePath)
+		fmt.Fprintf(os.Stderr, "NVM state written to %s\n", opt.StatePath)
 	}
+	return rep, nil
 }
 
 func fatal(err error) {

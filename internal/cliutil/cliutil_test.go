@@ -6,7 +6,7 @@ import (
 
 func TestParseMixesAll(t *testing.T) {
 	mixes, err := ParseMixes("all")
-	if err != nil || len(mixes) != 10 || mixes[0] != 0 || mixes[9] != 9 {
+	if err != nil || len(mixes) != 12 || mixes[0] != 0 || mixes[11] != 11 {
 		t.Fatalf("mixes=%v err=%v", mixes, err)
 	}
 }
@@ -25,7 +25,7 @@ func TestParseMixesList(t *testing.T) {
 }
 
 func TestParseMixesErrors(t *testing.T) {
-	for _, bad := range []string{"0", "11", "x", "", "1,,2"} {
+	for _, bad := range []string{"0", "13", "x", "", "1,,2"} {
 		if _, err := ParseMixes(bad); err == nil {
 			t.Errorf("accepted %q", bad)
 		}

@@ -30,7 +30,7 @@ import (
 // base (typically DefaultConfig) so partial documents stay valid.
 type Config struct {
 	// Workload.
-	MixID int     `json:"mix_id"` // Table V mix, 0-based (0..9)
+	MixID int     `json:"mix_id"` // mix index, 0-based (Table V 0..9, skew scenarios beyond)
 	Seed  uint64  `json:"seed"`   // workload and endurance sampling seed
 	Scale float64 `json:"scale"`  // footprint scale relative to the scaled-down default
 
@@ -88,6 +88,15 @@ type Config struct {
 	// omitted from the canonical form when nil, so pre-tournament cache
 	// keys and golden configs are unchanged.
 	Tournament *TournamentConfig `json:"tournament,omitempty"`
+
+	// Coloring selects inter-set wear-leveling (cache coloring): a
+	// bijective logical-set→physical-row remap applied to every LLC
+	// lookup, with rotation/wear-feedback schemes advancing at epoch
+	// boundaries (at the shard router's barrier under sharding, so any
+	// shard count stays bit-identical). nil disables coloring; the
+	// pointer is omitted from the canonical form when nil, so
+	// pre-coloring cache keys and golden configs are unchanged.
+	Coloring *ColoringConfig `json:"coloring,omitempty"`
 
 	// LLCBanks is the number of address-interleaved LLC banks whose
 	// data-array occupancy is modelled (Table IV: 4). 0 disables bank
@@ -200,6 +209,10 @@ func (c Config) BuildFromPrograms(progs []hier.Program) (*hier.System, error) {
 	if err != nil {
 		return nil, err
 	}
+	mapper, err := c.buildColoring()
+	if err != nil {
+		return nil, err
+	}
 	llc := hybrid.New(hybrid.Config{
 		Sets:             c.LLCSets,
 		SRAMWays:         sram,
@@ -212,6 +225,8 @@ func (c Config) BuildFromPrograms(progs []hier.Program) (*hier.System, error) {
 		NoGetXInvalidate: c.AblationNoInvalidate,
 		MaterializeData:  c.MaterializeData,
 		NVMReplacement:   replacementOf(c.NVMRRIP),
+		SetMapper:        mapper,
+		SetMapperAdvance: true,
 	})
 	hcfg := hier.Config{
 		L1Sets: c.L1Sets, L1Ways: c.L1Ways,
@@ -338,7 +353,8 @@ func MeasureMixes(base Config, mixes []int, warmup, measure uint64) ([]Summary, 
 	return out, mean, nil
 }
 
-// AllMixes returns [0..9], the full Table V workload set.
+// AllMixes returns every registered mix index: the paper's Table V set
+// (0..9) plus the skewed-traffic scenario mixes.
 func AllMixes() []int {
 	out := make([]int, len(workload.Mixes()))
 	for i := range out {

@@ -172,7 +172,9 @@ func TestMeasureMixes(t *testing.T) {
 }
 
 func TestAllMixes(t *testing.T) {
-	if len(AllMixes()) != 10 {
+	// The paper's ten Table V mixes plus the skewed-traffic scenarios
+	// (zipfian set pressure, multi-tenant interference).
+	if len(AllMixes()) != 12 {
 		t.Fatalf("AllMixes = %v", AllMixes())
 	}
 }

@@ -35,6 +35,14 @@ func (c Config) BuildEngine() (*shard.Engine, error) {
 	if _, _, _, _, err := c.buildPolicy(); err != nil {
 		return nil, err
 	}
+	// One shared coloring mapper instance: every clone maps through it
+	// (self-advance off) and the router alone advances it at the epoch
+	// barrier, so all clones see every remap at the same quiescent
+	// point — the bit-exactness invariant for any shard count.
+	mapper, err := c.buildColoring()
+	if err != nil {
+		return nil, err
+	}
 	newLLC := func(int) *hybrid.LLC {
 		pol, thr, sram, nvmW, err := c.buildPolicy()
 		if err != nil {
@@ -52,6 +60,7 @@ func (c Config) BuildEngine() (*shard.Engine, error) {
 			NoGetXInvalidate: c.AblationNoInvalidate,
 			MaterializeData:  c.MaterializeData,
 			NVMReplacement:   replacementOf(c.NVMRRIP),
+			SetMapper:        mapper,
 		})
 	}
 	// One more buildPolicy call yields the global threshold provider the
@@ -70,12 +79,13 @@ func (c Config) BuildEngine() (*shard.Engine, error) {
 		Banks:       c.LLCBanks,
 	}
 	return shard.New(shard.Config{
-		Shards: shards,
-		Sets:   c.LLCSets,
-		Hier:   hcfg,
-		NewLLC: newLLC,
-		Global: global,
-		Apps:   apps,
+		Shards:   shards,
+		Sets:     c.LLCSets,
+		Hier:     hcfg,
+		NewLLC:   newLLC,
+		Global:   global,
+		Apps:     apps,
+		Coloring: mapper,
 	})
 }
 

@@ -76,6 +76,11 @@ func (c Config) Validate() error {
 			errs = append(errs, err)
 		}
 	}
+	if c.Coloring != nil {
+		if err := c.validateColoring(c.Coloring); err != nil {
+			errs = append(errs, err)
+		}
+	}
 	if c.Th < 0 || c.Tw < 0 {
 		bad("negative CP_SD_Th parameters Th=%v Tw=%v", c.Th, c.Tw)
 	}

@@ -23,7 +23,7 @@ func TestValidateRejections(t *testing.T) {
 		want   string // substring of the error
 	}{
 		{"mix-low", func(c *Config) { c.MixID = -1 }, "mix id"},
-		{"mix-high", func(c *Config) { c.MixID = 10 }, "mix id"},
+		{"mix-high", func(c *Config) { c.MixID = 12 }, "mix id"},
 		{"scale", func(c *Config) { c.Scale = 0 }, "scale"},
 		{"llc-sets", func(c *Config) { c.LLCSets = 0 }, "LLC sets"},
 		{"way-split", func(c *Config) { c.SRAMWays, c.NVMWays = 0, 0 }, "way split"},

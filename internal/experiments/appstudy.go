@@ -41,7 +41,10 @@ func PerAppStudy(base core.Config, policyName string, warmup, measure uint64) ([
 
 	profs := workload.Profiles()
 	names := make([]string, 0, len(profs))
-	for n := range profs {
+	for n, p := range profs {
+		if p.Synthetic {
+			continue // the per-app figures cover the paper's Table V apps
+		}
 		names = append(names, n)
 	}
 	sort.Strings(names)

@@ -33,7 +33,10 @@ type ClassRow struct {
 func Fig2CompressionProfile(samplesPerApp int) []ClassRow {
 	profs := workload.Profiles()
 	names := make([]string, 0, len(profs))
-	for n := range profs {
+	for n, p := range profs {
+		if p.Synthetic {
+			continue // not part of the paper's Fig. 2 application set
+		}
 		names = append(names, n)
 	}
 	sort.Strings(names)

@@ -47,6 +47,18 @@ type Config struct {
 	// makes the LLC create its own. One registry serves one LLC — the
 	// counter names collide otherwise.
 	Metrics *metrics.Registry
+
+	// SetMapper remaps the logical set index to the physical
+	// directory/frame row (inter-set wear leveling, internal/coloring).
+	// nil is the identity mapping — the classic path, byte for byte.
+	SetMapper SetMapper
+
+	// SetMapperAdvance makes the LLC advance the mapper at its own
+	// EndEpoch boundaries and flush the directory when the mapping
+	// changes. The sequential engine sets it; the shard engine leaves
+	// it false and advances the single shared mapper once per epoch at
+	// the router's barrier instead.
+	SetMapperAdvance bool
 }
 
 // Replacement selects the NVM-part victim scheme.
@@ -139,6 +151,10 @@ type LLC struct {
 	// by the LLC; only valid inside a single insert.
 	capScratch []int
 
+	mapper        SetMapper
+	mapperAdvance bool
+	rowWear       []float64 // scratch for RowWear
+
 	Stats Stats
 }
 
@@ -184,6 +200,8 @@ func New(cfg Config) *LLC {
 	}
 	l.resolver, _ = cfg.Policy.(SetPolicyResolver)
 	l.polRRIP, _ = cfg.Policy.(RRIPInserter)
+	l.mapper = cfg.SetMapper
+	l.mapperAdvance = cfg.SetMapperAdvance
 	if cfg.NVMWays > 0 {
 		l.arr = nvm.NewArray(cfg.Sets, cfg.NVMWays, cfg.Endurance, cfg.Sampler, cfg.Policy.Granularity())
 	}
@@ -223,8 +241,16 @@ func (l *LLC) Array() *nvm.Array { return l.arr }
 // CompressionEnabled reports whether insertions need block contents.
 func (l *LLC) CompressionEnabled() bool { return l.pol.Compressed() }
 
-// SetOf maps a block address to its set.
-func (l *LLC) SetOf(block uint64) int { return int(block % uint64(l.sets)) }
+// SetOf maps a block address to the physical set (directory/frame row)
+// holding it: the logical index (block mod sets) pushed through the
+// coloring mapper when one is configured.
+func (l *LLC) SetOf(block uint64) int {
+	s := int(block % uint64(l.sets))
+	if l.mapper != nil {
+		s = l.mapper.Map(s)
+	}
+	return s
+}
 
 func (l *LLC) ways() int { return l.sramWays + l.nvmWays }
 
@@ -731,8 +757,113 @@ func (l *LLC) RotateNVMSets(n int) int {
 	return flushed
 }
 
-// EndEpoch forwards the epoch boundary to the threshold provider.
-func (l *LLC) EndEpoch() { l.thr.EndEpoch() }
+// EndEpoch forwards the epoch boundary to the threshold provider and,
+// when the LLC owns its coloring mapper (SetMapperAdvance), advances
+// it — flushing exactly the physical rows whose mapping changed, since
+// only those rows' resident blocks moved under them.
+func (l *LLC) EndEpoch() {
+	l.thr.EndEpoch()
+	if l.mapper != nil && l.mapperAdvance {
+		old := l.SnapshotMapping(nil)
+		if l.mapper.Epoch(l.RowWear()) {
+			l.FlushRows(ChangedRows(old, l.mapper))
+		}
+	}
+}
+
+// SnapshotMapping records the mapper's current logical→physical row
+// mapping into dst (grown as needed). Callers snapshot before advancing
+// the mapper and diff with ChangedRows to flush only the stale rows.
+func (l *LLC) SnapshotMapping(dst []int) []int {
+	if cap(dst) < l.sets {
+		dst = make([]int, l.sets)
+	}
+	dst = dst[:l.sets]
+	for s := 0; s < l.sets; s++ {
+		dst[s] = l.mapper.Map(s)
+	}
+	return dst
+}
+
+// ChangedRows diffs a pre-advance mapping snapshot against the mapper's
+// current mapping and returns every physical row that hosts different
+// logical sets than before — the old and new images of each remapped
+// logical set (deduplicated, ascending). Those rows hold stale blocks;
+// all other rows still satisfy SetOf(block) == row and keep their
+// contents across the remap.
+func ChangedRows(old []int, m SetMapper) []int {
+	stale := make([]bool, len(old))
+	for s, prev := range old {
+		now := m.Map(s)
+		if now != prev {
+			stale[prev] = true
+			stale[now] = true
+		}
+	}
+	var rows []int
+	for r, s := range stale {
+		if s {
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// RowWear returns the cumulative per-physical-row wear (each row's
+// frame wear summed across its NVM ways), nil for SRAM-only
+// configurations. The returned slice is owned by the LLC and reused.
+func (l *LLC) RowWear() []float64 {
+	if l.arr == nil {
+		return nil
+	}
+	if l.rowWear == nil {
+		l.rowWear = make([]float64, l.sets)
+	}
+	return nvm.RowWearInto(l.rowWear, l.arr.Frames(), l.sets, l.arr.Ways())
+}
+
+// FlushDirectory invalidates every directory entry, SRAM and NVM alike,
+// writing dirty casualties back to memory — the refill model of a
+// hardware set-remap event (the coloring migration moves whole rows, so
+// unlike RotateNVMSets the SRAM ways move too). It returns the number
+// of entries flushed.
+func (l *LLC) FlushDirectory() int {
+	flushed := 0
+	for set := 0; set < l.sets; set++ {
+		flushed += l.flushRow(set)
+	}
+	return flushed
+}
+
+// FlushRows invalidates the directory entries of the listed physical
+// rows only — the selective form of FlushDirectory the coloring remap
+// uses, so a pairs-bounded wear-feedback swap pays for the rows it
+// moved instead of the whole cache. Returns the number of entries
+// flushed.
+func (l *LLC) FlushRows(rows []int) int {
+	flushed := 0
+	for _, set := range rows {
+		flushed += l.flushRow(set)
+	}
+	return flushed
+}
+
+func (l *LLC) flushRow(set int) int {
+	flushed := 0
+	for w := 0; w < l.ways(); w++ {
+		e := l.entryAt(set, w)
+		if !e.valid {
+			continue
+		}
+		if e.dirty {
+			l.Stats.Writebacks++
+		}
+		l.clearMaterialized(set, w)
+		*e = entry{}
+		flushed++
+	}
+	return flushed
+}
 
 // ResetStats clears the statistics block.
 func (l *LLC) ResetStats() { l.Stats = Stats{} }

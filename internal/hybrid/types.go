@@ -171,6 +171,29 @@ type RRIPInserter interface {
 	InsertRRPV(info InsertInfo) uint8
 }
 
+// SetMapper remaps the logical set index (block mod sets) to the
+// physical directory/frame row the LLC actually uses — inter-set
+// wear-leveling (cache coloring). The mapping must be a bijection on
+// [0, sets) between Epoch calls. The internal/coloring schemes
+// implement it; the interface lives here so the LLC does not depend on
+// that package.
+//
+// Epoch is called exactly once per epoch boundary — by the LLC itself
+// when Config.SetMapperAdvance is set (the sequential engine), or by
+// the shard router at the quiescent epoch barrier (all clones share
+// one mapper instance and the router advances it once, keeping
+// shards=N bit-identical to shards=1). A true return means the mapping
+// changed and the caller must flush every directory keyed by physical
+// row (LLC.FlushDirectory).
+type SetMapper interface {
+	// Map returns the physical row for a logical set index.
+	Map(logical int) int
+	// Epoch advances the mapper's epoch counter with the cumulative
+	// per-physical-row wear (nil without an NVM part) and reports
+	// whether the mapping changed.
+	Epoch(rowWear []float64) bool
+}
+
 // ThresholdProvider supplies the per-set compression threshold and absorbs
 // the set-dueling counters (§IV-C). The dueling package implements it; a
 // FixedThreshold suffices for CA and CA_RWR.

@@ -49,7 +49,11 @@ func (a *Array) Stats() ArrayStats {
 // read the cached aggregates.
 func (a *Array) RegisterMetrics(reg *metrics.Registry) {
 	cache := &ArrayStats{}
-	reg.OnSnapshot(func() { *cache = a.Stats() })
+	vcache := &WearVariation{}
+	reg.OnSnapshot(func() {
+		*cache = a.Stats()
+		*vcache = a.WearVariation()
+	})
 	reg.CounterFunc("nvm.array.bytes_written", func() uint64 { return cache.BytesWritten })
 	reg.GaugeFunc("nvm.array.phase_bytes_written", func() float64 { return float64(cache.PhaseBytesWritten) })
 	reg.GaugeFunc("nvm.array.live_frames", func() float64 { return float64(cache.LiveFrames) })
@@ -58,6 +62,10 @@ func (a *Array) RegisterMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("nvm.array.capacity_fraction", func() float64 { return cache.CapacityFraction })
 	reg.GaugeFunc("nvm.array.wear_mean", func() float64 { return cache.WearMean })
 	reg.GaugeFunc("nvm.array.wear_max", func() float64 { return cache.WearMax })
+	reg.GaugeFunc("nvm.array.wear_min", func() float64 { return vcache.WearMin })
+	reg.GaugeFunc("nvm.array.wear_interset_cov", func() float64 { return vcache.InterSetCoV })
+	reg.GaugeFunc("nvm.array.wear_intraset_cov", func() float64 { return vcache.IntraSetCoV })
+	reg.GaugeFunc("nvm.array.wear_gini", func() float64 { return vcache.Gini })
 	reg.GaugeFunc("nvm.array.set_remap", func() float64 { return float64(a.remap) })
 	reg.GaugeFunc("nvm.array.wearlevel_counter", func() float64 { return float64(a.counter.value) })
 }

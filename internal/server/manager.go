@@ -735,14 +735,19 @@ func (m *Manager) runJob(j *Job) {
 // finishJob publishes a job's terminal state: counters, cache and
 // artifact on success, journal entry always. The artifact is written
 // before its journal entry, so a journaled completion implies the
-// artifact exists (at-least-once execution, idempotent artifacts).
+// artifact exists (at-least-once execution, idempotent artifacts) —
+// and before j.finish flips the in-memory state, so an observer woken
+// by awaitTerminal can already read the artifact.
 func (m *Manager) finishJob(j *Job, state JobState, res *Result, err error, outcome cliutil.TaskResult) {
+	var sha string
+	if state == StateCompleted {
+		sha = m.storeResult(j, res)
+	}
 	j.finish(state, res, err)
 	switch state {
 	case StateCompleted:
 		m.cache.put(j.cacheKey, res)
 		m.completed.Add(1)
-		sha := m.storeResult(j, res)
 		m.journal(jobstore.Entry{Kind: jobstore.KindJob, ID: j.id, State: string(StateCompleted),
 			Sweep: j.sweepID, Label: j.label, CacheKey: j.cacheKey,
 			Attempt: j.Attempts(), ArtifactSHA: sha})

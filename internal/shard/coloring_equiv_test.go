@@ -1,0 +1,68 @@
+package shard_test
+
+// Differential coloring suite: the set-coloring remap must not cost the
+// sharded engine its headline bit-identity guarantee. Every scheme runs
+// on shard counts {2, 3, 8} against the shards=1 reference — including
+// the epoch-advancing schemes, whose remap (and selective row flush)
+// happens at the quiescent barrier and must order identically against
+// every access stream. The zipfian set-pressure mix drives real inter-set
+// skew, so the wear-feedback scheme actually remaps during the window
+// instead of degenerating to the identity.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// coloringConfig is equivConfig plus a coloring document.
+func coloringConfig(cc core.ColoringConfig, mix int, seed uint64, sets, shards int) core.Config {
+	c := equivConfig("CP_SD", mix, seed, sets, shards)
+	c.Coloring = &cc
+	return c
+}
+
+// TestShardColoringEquivalence runs the scheme matrix. The 96-set rows
+// exercise rotation and wear feedback on a non-power-of-two set count,
+// where the 3-shard contiguous ranges are unequal.
+func TestShardColoringEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix is not short")
+	}
+	cases := []struct {
+		name string
+		sets int
+		cc   core.ColoringConfig
+	}{
+		{"xor", 128, core.ColoringConfig{Scheme: core.ColoringXOR, Mask: 21}},
+		{"rotate", 128, core.ColoringConfig{Scheme: core.ColoringRot, IntervalEpochs: 1, Step: 37}},
+		{"rotate-odd", 96, core.ColoringConfig{Scheme: core.ColoringRot, IntervalEpochs: 2, Step: 35}},
+		{"wear", 128, core.ColoringConfig{Scheme: core.ColoringWear, IntervalEpochs: 1, Pairs: 8}},
+		{"wear-odd", 96, core.ColoringConfig{Scheme: core.ColoringWear, IntervalEpochs: 1, Pairs: 8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := runEngine(t, coloringConfig(tc.cc, 10, 9, tc.sets, 1))
+			for _, shards := range []int{2, 3, 8} {
+				got := runEngine(t, coloringConfig(tc.cc, 10, 9, tc.sets, shards))
+				compareStates(t, ref, got, shards)
+			}
+		})
+	}
+}
+
+// TestIdentityColoringMatchesClassic pins the zero-cost end of the
+// design: xor with mask 0 is the identity mapping, and a run with it
+// configured must be byte-for-byte the run with coloring off — same
+// counters, gauges, epoch series, fault digest and capacity — in both
+// the sequential engine and a sharded one.
+func TestIdentityColoringMatchesClassic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential check is not short")
+	}
+	for _, shards := range []int{1, 4} {
+		plain := runEngine(t, equivConfig("CP_SD", 0, 1, 128, shards))
+		id := runEngine(t, coloringConfig(core.ColoringConfig{Scheme: core.ColoringXOR}, 0, 1, 128, shards))
+		compareStates(t, plain, id, shards)
+	}
+}

@@ -53,6 +53,15 @@ type Config struct {
 	// dueling policies (same geometry as the shard controllers), nil or
 	// a FixedThreshold otherwise.
 	Global hybrid.ThresholdProvider
+	// Coloring is the shared inter-set coloring mapper. Every shard
+	// clone must be built with the SAME instance as its
+	// hybrid.Config.SetMapper (self-advance off); the router routes
+	// events through it and advances it exactly once per epoch at the
+	// quiescent barrier — reassigning pending fetches to their new
+	// owners and flushing every clone's directory when the mapping
+	// changes, which keeps shards=N bit-identical to shards=1. nil
+	// disables coloring.
+	Coloring hybrid.SetMapper
 	// Apps are the per-core programs (one per core, at most 256).
 	Apps []*workload.App
 }
@@ -93,6 +102,7 @@ func New(cfg Config) (*Engine, error) {
 		sets:    cfg.Sets,
 		ownerOf: make([]uint16, cfg.Sets),
 		apps:    cfg.Apps,
+		scheme:  cfg.Coloring,
 	}
 	// Pre-size the pending maps for the total private L2 capacity split
 	// across shards, so the steady state never grows them.
@@ -137,6 +147,7 @@ func New(cfg Config) (*Engine, error) {
 	// Owned physical frames in global set-major order: set s contributes
 	// the frames of its owning shard's array row s.
 	if arr0 := r.shards[0].llc.Array(); arr0 != nil {
+		r.frameWays = arr0.Ways()
 		r.frames = make([]*nvm.Frame, 0, cfg.Sets*arr0.Ways())
 		for s := 0; s < cfg.Sets; s++ {
 			arr := r.shards[r.ownerOf[s]].llc.Array()

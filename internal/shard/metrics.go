@@ -60,6 +60,11 @@ func (r *Router) buildRegistry() {
 		reg.GaugeFunc("nvm.array.capacity_fraction", func() float64 { return st.CapacityFraction })
 		reg.GaugeFunc("nvm.array.wear_mean", func() float64 { return st.WearMean })
 		reg.GaugeFunc("nvm.array.wear_max", func() float64 { return st.WearMax })
+		wv := &r.wearVar
+		reg.GaugeFunc("nvm.array.wear_min", func() float64 { return wv.WearMin })
+		reg.GaugeFunc("nvm.array.wear_interset_cov", func() float64 { return wv.InterSetCoV })
+		reg.GaugeFunc("nvm.array.wear_intraset_cov", func() float64 { return wv.IntraSetCoV })
+		reg.GaugeFunc("nvm.array.wear_gini", func() float64 { return wv.Gini })
 		// The clones advance their remap and wear-level counters in
 		// lockstep (the engine never rotates per shard), so shard 0
 		// speaks for all.
@@ -101,6 +106,9 @@ func (r *Router) buildRegistry() {
 func (r *Router) refreshArrayStats() {
 	if r.frames != nil {
 		r.arrStats = statsOfFrames(r.frames)
+		// Same function, same global set-major frame order as
+		// nvm.Array.WearVariation — bit-identical for every shard count.
+		r.wearVar = nvm.WearVariationOf(r.frames, r.sets, r.frameWays)
 	}
 }
 

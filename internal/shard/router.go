@@ -179,8 +179,30 @@ type Router struct {
 	// identical for every shard count — the float sums behind wear_mean
 	// associate the same way whether one shard owns all sets or eight
 	// shards own ranges.
-	frames   []*nvm.Frame
-	arrStats nvm.ArrayStats
+	frames    []*nvm.Frame
+	frameWays int // NVM ways per set (0 without an NVM part)
+	arrStats  nvm.ArrayStats
+	wearVar   nvm.WearVariation
+
+	// scheme is the shared inter-set coloring mapper (nil when coloring
+	// is off). Set→shard ownership stays fixed; coloring moves blocks
+	// between physical sets, and therefore between shards, at the epoch
+	// barrier only.
+	scheme  hybrid.SetMapper
+	rowWear []float64
+	oldMap  []int // pre-advance mapping snapshot, reused every epoch
+}
+
+// physSet resolves a block's physical set: the logical index pushed
+// through the coloring mapper — the same mapping every shard clone's
+// LLC.SetOf applies, so the router always routes an event to the worker
+// whose range contains the set the clone will store it in.
+func (r *Router) physSet(block uint64) int {
+	s := int(block % uint64(r.sets))
+	if r.scheme != nil {
+		s = r.scheme.Map(s)
+	}
+	return s
 }
 
 // GetS implements hier.Target: enqueue and answer "miss" deterministically.
@@ -232,9 +254,9 @@ func (r *Router) Thresholds() hybrid.ThresholdProvider { return r.global }
 // Metrics implements hier.Target: the merged registry (see metrics.go).
 func (r *Router) Metrics() *metrics.Registry { return r.reg }
 
-// push routes one event to the owner of the block's set.
+// push routes one event to the owner of the block's physical set.
 func (r *Router) push(block uint64, e event) {
-	w := r.shards[r.ownerOf[block%uint64(r.sets)]]
+	w := r.shards[r.ownerOf[r.physSet(block)]]
 	if !r.parallel {
 		w.apply(&e)
 		return
@@ -288,7 +310,73 @@ func (r *Router) EndEpoch() {
 	} else {
 		r.global.EndEpoch()
 	}
+	if r.scheme != nil {
+		var rw []float64
+		if r.frames != nil {
+			if r.rowWear == nil {
+				r.rowWear = make([]float64, r.sets)
+			}
+			rw = nvm.RowWearInto(r.rowWear, r.frames, r.sets, r.frameWays)
+		}
+		// The sequential LLC advances its mapper at the same point of
+		// its own EndEpoch, with identical row wear (same frames, same
+		// set-major accumulation), so both engines take identical remap
+		// decisions every epoch.
+		r.oldMap = snapshotMapping(r.oldMap, r.scheme, r.sets)
+		if r.scheme.Epoch(rw) {
+			r.recolor(hybrid.ChangedRows(r.oldMap, r.scheme))
+		}
+	}
 	r.refreshArrayStats()
+}
+
+// snapshotMapping records the scheme's logical→physical mapping before
+// the advance, mirroring the sequential LLC's SnapshotMapping.
+func snapshotMapping(dst []int, m hybrid.SetMapper, sets int) []int {
+	if cap(dst) < sets {
+		dst = make([]int, sets)
+	}
+	dst = dst[:sets]
+	for s := 0; s < sets; s++ {
+		dst[s] = m.Map(s)
+	}
+	return dst
+}
+
+// recolor applies a mapping change at the quiescent epoch barrier:
+// pending fetches whose block now lands in a different shard move to
+// their new owner (their stored tag/dirty answer must be found by
+// whichever worker replays the eventual insert), then the stale rows of
+// every clone's directory are flushed in ascending shard order —
+// exactly the rows the sequential LLC flushes after its own mapper
+// advance. The pending redistribution is deterministic: entries are
+// keyed by (block, core) and the merged result is independent of map
+// iteration order.
+func (r *Router) recolor(rows []int) {
+	if r.parallel {
+		type move struct {
+			k  pendKey
+			v  pendVal
+			to int
+		}
+		var moves []move
+		for i, w := range r.shards {
+			for k, v := range w.pending {
+				to := int(r.ownerOf[r.physSet(k.block)])
+				if to == i {
+					continue
+				}
+				moves = append(moves, move{k, v, to})
+				delete(w.pending, k)
+			}
+		}
+		for _, m := range moves {
+			r.shards[m.to].pending[m.k] = m.v
+		}
+	}
+	for _, w := range r.shards {
+		w.llc.FlushRows(rows)
+	}
 }
 
 // close shuts the worker goroutines down (parallel mode only). Callers

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/stats"
 )
@@ -91,6 +92,37 @@ func (a *App) Next() Access {
 	case u < m.LoopFrac+m.StreamFrac+m.HotFrac:
 		local = p.LoopBlocks + a.rng.Intn(p.HotBlocks)
 		write = a.rng.Float64() < m.HotWriteFrac
+	case u < m.LoopFrac+m.StreamFrac+m.HotFrac+m.SkewFrac:
+		// Zipf-like set pressure. The footprint is viewed as SkewChunks
+		// interleaved chunks (chunk = block index mod SkewChunks), so one
+		// chunk's blocks all land on the same small group of LLC sets for
+		// any power-of-two set count ≤ footprint. The chunk index is drawn
+		// as floor(U^theta · SkewChunks): P(chunk < c) = (c/SkewChunks)^
+		// (1/theta), so a handful of chunks absorb most of the traffic,
+		// and within a chunk blocks are drawn uniformly — many more
+		// blocks than the set has ways, so the hot sets churn instead of
+		// caching. That is exactly the page-coloring-conflict shape that
+		// produces inter-set wear variation. Unreachable when SkewFrac is
+		// 0, so legacy profiles draw the exact same RNG sequence as
+		// before this case existed.
+		band := p.SkewBand
+		if band < 1 {
+			band = SkewChunks
+		}
+		chunk := int(math.Pow(a.rng.Float64(), p.SkewTheta) * float64(band))
+		if chunk >= band {
+			chunk = band - 1
+		}
+		chunk = (chunk + p.SkewOffset) % SkewChunks
+		chunkLen := p.FootprintBlocks / SkewChunks
+		if chunkLen < 1 {
+			chunkLen = 1
+		}
+		local = a.rng.Intn(chunkLen)*SkewChunks + chunk
+		if local >= p.FootprintBlocks {
+			local = p.FootprintBlocks - 1
+		}
+		write = a.rng.Float64() < m.SkewWriteFrac
 	default:
 		local = a.rng.Intn(p.FootprintBlocks)
 		write = a.rng.Float64() < m.RandWriteFrac
@@ -154,6 +186,13 @@ func (a *App) ContentForVersion(dst []byte, block uint64, version uint32) []byte
 	local := block - a.base
 	return GenContentInto(dst, classOf(&a.prof, a.seed, local), a.seed, local, version)
 }
+
+// SkewChunks is the interleave factor of the zipfian set-pressure
+// pattern: blocks are grouped by index mod SkewChunks, and the zipf head
+// concentrates on the lowest chunk numbers. A power of two, so each
+// chunk aliases onto sets/SkewChunks (or 1) LLC set(s) for every
+// power-of-two set count the configs use.
+const SkewChunks = 64
 
 // AppSpacing is the address-space stride between apps in block units;
 // large enough that footprints never overlap.

@@ -17,10 +17,11 @@ func TestAllProfilesValidate(t *testing.T) {
 }
 
 func TestMixesResolve(t *testing.T) {
-	if len(Mixes()) != 10 {
-		t.Fatalf("want 10 mixes (Table V), got %d", len(Mixes()))
+	// The paper's ten Table V mixes plus the two skewed-traffic scenarios.
+	if len(Mixes()) != 12 {
+		t.Fatalf("want 12 mixes (Table V + skew scenarios), got %d", len(Mixes()))
 	}
-	for m := 0; m < 10; m++ {
+	for m := 0; m < len(Mixes()); m++ {
 		ps, err := MixProfiles(m)
 		if err != nil {
 			t.Fatalf("mix %d: %v", m, err)
@@ -29,7 +30,7 @@ func TestMixesResolve(t *testing.T) {
 			t.Fatalf("mix %d has %d apps, want 4", m, len(ps))
 		}
 	}
-	if _, err := MixProfiles(10); err == nil {
+	if _, err := MixProfiles(12); err == nil {
 		t.Fatal("out-of-range mix accepted")
 	}
 	if _, err := MixProfiles(-1); err == nil {
