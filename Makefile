@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint fmt-check ci race-shard race-server shard-smoke fuzz-smoke coloring-smoke serve server-smoke recovery-smoke estimate-smoke tournament-smoke faultstudy bench bench-parallel bench-estimate bench-go bench-figures validate experiments clean
+.PHONY: all build test vet lint fmt-check ci race-shard race-server shard-smoke fuzz-smoke coloring-smoke serve server-smoke recovery-smoke estimate-smoke tournament-smoke fleet-smoke faultstudy bench bench-parallel bench-estimate bench-go bench-figures validate experiments clean
 
 all: build vet test
 
@@ -41,6 +41,7 @@ ci: fmt-check lint build
 	$(MAKE) recovery-smoke
 	$(MAKE) estimate-smoke
 	$(MAKE) tournament-smoke
+	$(MAKE) fleet-smoke
 	$(GO) run ./cmd/faultstudy -quick
 	$(MAKE) bench
 	$(MAKE) bench-parallel
@@ -51,7 +52,7 @@ ci: fmt-check lint build
 # daemon rides along — its queue/drain/stream paths are all goroutine
 # hand-offs.
 race-shard:
-	$(GO) test -race -count=2 ./internal/shard ./internal/hybrid ./internal/hier ./internal/server ./internal/coloring
+	$(GO) test -race -count=2 ./internal/shard ./internal/hybrid ./internal/hier ./internal/server ./internal/fleet ./internal/coloring
 
 # Shard-equivalence smoke: the differential matrix proving shards=N is
 # bit-identical to shards=1, under the race detector.
@@ -224,6 +225,55 @@ tournament-smoke:
 	@rm -f tournament-smoke-1.txt tournament-smoke-2.txt
 	@echo "tournament-smoke: deterministic league table"
 
+# Fleet smoke: a remote-only coordinator plus two pull-loop workers, all
+# real processes on localhost. One worker is SIGKILLed while it holds a
+# lease; the coordinator must expire that lease on the heartbeat
+# deadline (visible in the Prometheus exposition), requeue the job, and
+# the surviving worker must still finish the whole sweep — every upload
+# hash-verified against its content address before acceptance.
+FLEET_ADDR = 127.0.0.1:18083
+FLEET_SWEEP = {"base":{"config":{"llc_sets":256,"scale":0.15,"l2_size_kb":64,"epoch_cycles":200000},"warmup_cycles":100000,"measure_cycles":8000000},"axes":[{"field":"cpth","values":[20,30,40,50]}],"concurrency":2}
+fleet-smoke:
+	@$(GO) build -o simd-fleet ./cmd/simd
+	@rm -rf fleet-smoke-data; \
+	./simd-fleet -addr $(FLEET_ADDR) -remote-only -data fleet-smoke-data -lease-ttl 1s -log-format json >/dev/null 2>&1 & cpid=$$!; \
+	w1=; w2=; \
+	trap 'kill -9 $$cpid $$w1 $$w2 2>/dev/null; rm -rf simd-fleet fleet-smoke-data' EXIT; \
+	ok=; for i in $$(seq 1 50); do \
+		curl -fs http://$(FLEET_ADDR)/healthz >/dev/null 2>&1 && ok=1 && break; sleep 0.1; \
+	done; \
+	[ -n "$$ok" ] || { echo "coordinator never came up"; exit 1; }; \
+	./simd-fleet -worker -join http://$(FLEET_ADDR) -worker-id smoke-w1 >/dev/null 2>&1 & w1=$$!; \
+	./simd-fleet -worker -join http://$(FLEET_ADDR) -worker-id smoke-w2 >/dev/null 2>&1 & w2=$$!; \
+	sid=$$(curl -fs -X POST -d '$(FLEET_SWEEP)' http://$(FLEET_ADDR)/v1/sweeps \
+		| sed -n 's/.*"id": *"\(sweep-[^"]*\)".*/\1/p' | head -1); \
+	[ -n "$$sid" ] || { echo "sweep submission returned no id"; exit 1; }; \
+	held=; for i in $$(seq 1 100); do \
+		curl -fs http://$(FLEET_ADDR)/v1/leases | grep -q '"worker": *"smoke-w1"' && held=1 && break; sleep 0.1; \
+	done; \
+	[ -n "$$held" ] || { echo "smoke-w1 never acquired a lease"; exit 1; }; \
+	kill -9 $$w1 2>/dev/null; wait $$w1 2>/dev/null; w1=; \
+	expired=; for i in $$(seq 1 100); do \
+		n=$$(curl -fs -H 'Accept: text/plain; version=0.0.4' http://$(FLEET_ADDR)/metrics \
+			| sed -n 's/^simd_fleet_leases_expired \([0-9][0-9]*\).*/\1/p' | head -1); \
+		[ -n "$$n" ] && [ "$$n" -ge 1 ] && expired=$$n && break; sleep 0.2; \
+	done; \
+	[ -n "$$expired" ] || { echo "killed worker's lease never expired"; exit 1; }; \
+	state=; for i in $$(seq 1 600); do \
+		state=$$(curl -fs http://$(FLEET_ADDR)/v1/sweeps/$$sid \
+			| sed -n 's/.*"state": *"\([a-z]*\)".*/\1/p' | head -1); \
+		[ "$$state" = completed ] && break; sleep 0.2; \
+	done; \
+	[ "$$state" = completed ] || { echo "sweep ended in state '$$state' after the worker kill"; exit 1; }; \
+	completed=$$(curl -fs http://$(FLEET_ADDR)/v1/sweeps/$$sid \
+		| sed -n 's/.*"completed": *\([0-9][0-9]*\).*/\1/p' | head -1); \
+	[ "$$completed" = 4 ] || { echo "sweep completed $$completed/4 children"; exit 1; }; \
+	requeued=$$(curl -fs -H 'Accept: text/plain; version=0.0.4' http://$(FLEET_ADDR)/metrics \
+		| sed -n 's/^simd_fleet_leases_requeued \([0-9][0-9]*\).*/\1/p' | head -1); \
+	[ -n "$$requeued" ] && [ "$$requeued" -ge 1 ] || { echo "expired lease was never requeued ($$requeued)"; exit 1; }; \
+	kill $$w2 2>/dev/null; \
+	echo "fleet-smoke: sweep $$sid survived worker SIGKILL ($$expired lease expired, $$requeued requeued, 4/4 children hash-verified)"
+
 # Deterministic fault-injection degradation study (quick preset).
 faultstudy:
 	$(GO) run ./cmd/faultstudy -quick
@@ -275,5 +325,5 @@ experiments:
 	$(GO) run ./cmd/energy     -mixes 1,4,6,8           > results/energy.txt
 
 clean:
-	rm -f test_output.txt bench_output.txt BENCH_hotpath.json BENCH_parallel.json BENCH_estimate.json simd-smoke simd-recovery simd-estimate tournament-smoke-1.txt tournament-smoke-2.txt
-	rm -rf recovery-smoke-data
+	rm -f test_output.txt bench_output.txt BENCH_hotpath.json BENCH_parallel.json BENCH_estimate.json simd-smoke simd-recovery simd-estimate simd-fleet tournament-smoke-1.txt tournament-smoke-2.txt
+	rm -rf recovery-smoke-data fleet-smoke-data

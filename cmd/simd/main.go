@@ -15,16 +15,29 @@
 // bounds). Sweeps can opt in with "plan": "analytic" to simulate only
 // the estimated Pareto frontier of their expansion.
 //
-// SIGINT/SIGTERM drains gracefully: the listener stops accepting,
-// queued and running jobs finish (up to -drain), then the process
-// exits. A second signal, or the drain deadline, cancels in-flight jobs
-// at their next epoch boundary.
+// Multi-node fleet mode: the daemon above doubles as a coordinator
+// (add -remote-only to dedicate its queue to remote workers), and
+//
+//	simd -worker -join http://coordinator:8080
+//
+// runs a stateless pull-loop worker instead of a server: acquire a
+// lease, execute the job through the same engine, heartbeat while it
+// runs, upload the artifact, repeat. Workers hold no durable state —
+// kill one at any instant and its lease expires on the coordinator,
+// which requeues the job for the next worker.
+//
+// SIGINT/SIGTERM drains gracefully in both modes: the server stops
+// accepting and lets jobs finish (up to -drain); a worker finishes and
+// uploads its in-flight lease, then exits. A second signal cancels
+// in-flight work at the next epoch boundary.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
@@ -32,22 +45,40 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cliutil"
+	"repro/internal/fleet"
 	"repro/internal/jobstore"
 	"repro/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "concurrent local simulations (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "queued-job bound; full queue returns 429")
 	jobTimeout := flag.Duration("jobtimeout", 0, "per-job deadline (0 = none)")
 	cacheSize := flag.Int("cachesize", 256, "result cache entries (0 = disable)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
 	data := flag.String("data", "", "durable state directory (journal + artifacts); empty = in-memory only")
 	retries := flag.Int("retries", 0, "re-run attempts for transiently failed jobs (panic/timeout)")
+	remoteOnly := flag.Bool("remote-only", false, "run no local pool; fleet workers drain the queue")
+	leaseTTL := flag.Duration("lease-ttl", 0, "fleet lease heartbeat budget (0 = 10s)")
+	workerMode := flag.Bool("worker", false, "run as a fleet worker instead of a server (requires -join)")
+	join := flag.String("join", "", "coordinator base URL for -worker mode")
+	workerID := flag.String("worker-id", "", "worker identity in leases and logs (default hostname-pid)")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	flag.Parse()
 
-	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	log, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	slog.SetDefault(log)
+
+	if *workerMode {
+		os.Exit(runWorker(log, *join, *workerID, *drain))
+	}
+
 	cache := *cacheSize
 	if cache <= 0 {
 		cache = server.NoCache
@@ -63,13 +94,18 @@ func main() {
 		defer store.Close()
 		log.Info("durable store open", "dir", *data, "artifacts", store.CountArtifacts())
 	}
+	poolWorkers := *workers
+	if *remoteOnly {
+		poolWorkers = -1
+	}
 	m, err := server.NewManager(server.Options{
-		Workers:    *workers,
+		Workers:    poolWorkers,
 		QueueDepth: *queue,
 		JobTimeout: *jobTimeout,
 		CacheSize:  cache,
 		Store:      store,
 		Retries:    *retries,
+		LeaseTTL:   *leaseTTL,
 		Logger:     log,
 	})
 	if err != nil {
@@ -80,7 +116,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Info("simd listening", "addr", *addr, "queue", *queue)
+		log.Info("simd listening", "addr", *addr, "queue", *queue, "remote_only", *remoteOnly)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -111,4 +147,76 @@ func main() {
 	}
 	m.Close()
 	log.Info("simd stopped")
+}
+
+// newLogger builds the process logger for -log-format.
+func newLogger(format string) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	case "discard":
+		h = slog.NewTextHandler(io.Discard, nil)
+	default:
+		return nil, fmt.Errorf("simd: -log-format %q (want text or json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// runWorker is -worker mode: a stateless fleet pull loop against the
+// coordinator at joinURL. The first signal drains (the in-flight lease
+// finishes and uploads); a second, or the drain deadline, abandons it —
+// the coordinator's lease expiry requeues the job, so abandonment is
+// safe, just slower.
+func runWorker(log *slog.Logger, joinURL, id string, drain time.Duration) int {
+	if joinURL == "" {
+		log.Error("-worker requires -join <coordinator-url>")
+		return 2
+	}
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w := &fleet.Worker{
+		ID:      id,
+		Client:  &cliutil.HTTPClient{Base: joinURL, Log: log},
+		Execute: server.RunRequestArtifact,
+		Log:     log,
+	}
+
+	drainCtx, stopDraining := context.WithCancel(context.Background())
+	killCtx, kill := context.WithCancel(context.Background())
+	defer kill()
+	defer stopDraining()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Info("draining: finishing in-flight lease", "signal", sig.String(), "deadline", drain)
+		stopDraining()
+		timer := time.NewTimer(drain)
+		defer timer.Stop()
+		select {
+		case sig := <-sigc:
+			log.Warn("second signal: abandoning in-flight lease", "signal", sig.String())
+		case <-timer.C:
+			log.Warn("drain deadline passed: abandoning in-flight lease")
+		case <-killCtx.Done():
+			return
+		}
+		kill()
+	}()
+
+	if err := w.Run(drainCtx, killCtx); err != nil {
+		log.Error("worker failed", "err", err)
+		return 1
+	}
+	log.Info("worker stopped")
+	return 0
 }

@@ -1,0 +1,163 @@
+package cliutil
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTPError is a non-2xx response surfaced as an error, with the status
+// and (truncated) body preserved so callers can branch on the code.
+type HTTPError struct {
+	Status int
+	Body   string
+}
+
+func (e *HTTPError) Error() string {
+	body := e.Body
+	if len(body) > 256 {
+		body = body[:256] + "..."
+	}
+	return fmt.Sprintf("http %d: %s", e.Status, strings.TrimSpace(body))
+}
+
+// HTTPStatus extracts the status code from an HTTPError, or 0 when err
+// is a transport-level failure (no response at all).
+func HTTPStatus(err error) int {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Status
+	}
+	return 0
+}
+
+// maxHTTPBody bounds a response body read; fleet artifacts are the
+// largest legitimate payload and sit far under this.
+const maxHTTPBody = 64 << 20
+
+// HTTPClient is a small JSON-over-HTTP client with full-jitter retry on
+// transport errors and gateway-class statuses (502/503/504) — the shared
+// plumbing for fleet workers talking to a coordinator that may be
+// restarting, draining, or briefly unreachable. The zero value (plus a
+// Base URL) is usable.
+type HTTPClient struct {
+	// Base is the server's base URL ("http://host:port"); request paths
+	// are appended to it.
+	Base string
+	// Client is the underlying HTTP client; nil uses a default with a
+	// 2-minute overall timeout.
+	Client *http.Client
+	// Backoff shapes the delay between retries (cliutil defaults apply).
+	Backoff Backoff
+	// MaxRetries caps re-sends after the first attempt; < 0 disables
+	// retries, 0 defaults to 4.
+	MaxRetries int
+	// Log receives one warning per retried attempt; nil discards.
+	Log *slog.Logger
+}
+
+func (c *HTTPClient) retries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return 4
+	}
+	return c.MaxRetries
+}
+
+func (c *HTTPClient) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return &http.Client{Timeout: 2 * time.Minute}
+}
+
+// retryableStatus reports whether a status code is worth re-sending:
+// the gateway-unavailability class a restarting or draining coordinator
+// answers with. Client errors (4xx) are final by definition.
+func retryableStatus(status int) bool {
+	return status == http.StatusBadGateway ||
+		status == http.StatusServiceUnavailable ||
+		status == http.StatusGatewayTimeout
+}
+
+// DoJSON sends one JSON request and decodes the JSON response. in == nil
+// sends no body; out == nil (or a 204 response) skips decoding. The
+// returned status is the final attempt's (0 when no attempt got a
+// response); non-2xx statuses return an *HTTPError carrying the body.
+// Transport errors and 502/503/504 are retried with full-jitter backoff
+// up to MaxRetries times, respecting ctx.
+func (c *HTTPClient) DoJSON(ctx context.Context, method, path string, in, out interface{}) (int, error) {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return 0, fmt.Errorf("cliutil: marshal request: %w", err)
+		}
+	}
+	var lastErr error
+	lastStatus := 0
+	for attempt := 1; ; attempt++ {
+		status, err := c.doOnce(ctx, method, path, body, out)
+		if err == nil {
+			return status, nil
+		}
+		lastErr, lastStatus = err, status
+		retryable := status == 0 || retryableStatus(status)
+		if !retryable || attempt > c.retries() || ctx.Err() != nil {
+			return lastStatus, lastErr
+		}
+		delay := c.Backoff.Delay(attempt, nil)
+		if c.Log != nil {
+			c.Log.Warn("http request failed, retrying",
+				"method", method, "path", path, "status", status,
+				"attempt", attempt, "backoff", delay.Round(time.Millisecond), "err", err)
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return lastStatus, lastErr
+		}
+	}
+}
+
+// doOnce runs a single attempt.
+func (c *HTTPClient) doOnce(ctx context.Context, method, path string, body []byte, out interface{}) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxHTTPBody))
+	if err != nil {
+		return resp.StatusCode, fmt.Errorf("cliutil: read response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return resp.StatusCode, &HTTPError{Status: resp.StatusCode, Body: string(data)}
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent && len(data) > 0 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("cliutil: decode response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,119 @@
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDoJSONRoundTrip checks the basic JSON request/response cycle.
+func TestDoJSONRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/echo" {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Content-Type = %q", ct)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"pong":41}`))
+	}))
+	defer srv.Close()
+
+	c := &HTTPClient{Base: srv.URL}
+	var out struct {
+		Pong int `json:"pong"`
+	}
+	status, err := c.DoJSON(context.Background(), http.MethodPost, "/v1/echo",
+		map[string]int{"ping": 1}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || out.Pong != 41 {
+		t.Fatalf("status=%d pong=%d", status, out.Pong)
+	}
+}
+
+// TestDoJSONRetriesGatewayErrors checks that 503 responses are retried
+// with backoff and the call eventually succeeds.
+func TestDoJSONRetriesGatewayErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+
+	c := &HTTPClient{
+		Base:    srv.URL,
+		Backoff: Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond},
+	}
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	status, err := c.DoJSON(context.Background(), http.MethodGet, "/", nil, &out)
+	if err != nil || status != http.StatusOK || !out.OK {
+		t.Fatalf("status=%d err=%v out=%+v", status, err, out)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+// TestDoJSONClientErrorsAreFinal checks that a 4xx response is returned
+// immediately as an HTTPError without retrying.
+func TestDoJSONClientErrorsAreFinal(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "lease gone", http.StatusGone)
+	}))
+	defer srv.Close()
+
+	c := &HTTPClient{Base: srv.URL, Backoff: Backoff{Base: time.Millisecond}}
+	status, err := c.DoJSON(context.Background(), http.MethodPost, "/x", nil, nil)
+	if status != http.StatusGone {
+		t.Fatalf("status = %d, want 410", status)
+	}
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusGone {
+		t.Fatalf("err = %v, want *HTTPError{410}", err)
+	}
+	if HTTPStatus(err) != http.StatusGone {
+		t.Fatalf("HTTPStatus(err) = %d", HTTPStatus(err))
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retry on 4xx)", got)
+	}
+}
+
+// TestDoJSONContextCancel checks that cancellation stops the retry loop.
+func TestDoJSONContextCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	c := &HTTPClient{
+		Base:       srv.URL,
+		Backoff:    Backoff{Base: time.Hour, Max: time.Hour},
+		MaxRetries: 10,
+	}
+	start := time.Now()
+	_, err := c.DoJSON(ctx, http.MethodGet, "/", nil, nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}

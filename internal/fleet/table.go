@@ -1,0 +1,305 @@
+package fleet
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultTTL is the lease heartbeat budget when the coordinator does
+// not configure one.
+const DefaultTTL = 10 * time.Second
+
+// doneTombstones bounds the FIFO of resolved tokens kept so late
+// heartbeats and duplicate completions from revived workers get a
+// precise answer ("expired"/"completed") instead of "unknown".
+const doneTombstones = 8192
+
+// TokenState classifies what the table knows about a lease token.
+type TokenState int
+
+const (
+	// TokenUnknown: never granted, or so old its tombstone was evicted.
+	TokenUnknown TokenState = iota
+	// TokenActive: granted and within its deadline.
+	TokenActive
+	// TokenExpired: the deadline passed and the job was requeued.
+	TokenExpired
+	// TokenCompleted: resolved by a completion (artifact or terminal
+	// error) before expiring.
+	TokenCompleted
+)
+
+func (s TokenState) String() string {
+	switch s {
+	case TokenActive:
+		return "active"
+	case TokenExpired:
+		return "expired"
+	case TokenCompleted:
+		return "completed"
+	}
+	return "unknown"
+}
+
+// Errors the table's transitions surface; the coordinator maps these
+// onto HTTP statuses (410 for gone leases, 409 for double grants).
+var (
+	ErrLeaseGone   = errors.New("fleet: lease expired or unknown")
+	ErrJobLeased   = errors.New("fleet: job already leased")
+	ErrLeaseClosed = errors.New("fleet: lease already resolved")
+)
+
+// Lease is one live claim: a job granted to a worker until a deadline.
+type Lease struct {
+	Token    string
+	JobID    string
+	Worker   string
+	Attempt  int
+	Granted  time.Time
+	Deadline time.Time
+	Renewals uint64
+}
+
+// Stats is a monotonic snapshot of the table's lifetime counters, fed
+// into the metrics registry by the coordinator.
+type Stats struct {
+	Granted    uint64
+	Heartbeats uint64
+	Expired    uint64
+	Completed  uint64
+}
+
+// Table is the coordinator-side lease state machine. It tracks active
+// leases by token, remembers resolved tokens long enough to classify
+// stragglers, and records per-worker last-contact times for the
+// workers-connected gauge. All methods are safe for concurrent use.
+//
+// The table deliberately knows nothing about jobs beyond their IDs:
+// queueing, journaling, and artifact verification stay with the caller.
+type Table struct {
+	ttl time.Duration
+	now func() time.Time // test hook; defaults to time.Now
+
+	mu       sync.Mutex
+	active   map[string]*Lease     // token → lease
+	byJob    map[string]string     // jobID → token, to refuse double grants
+	done     map[string]TokenState // resolved-token tombstones
+	doneFIFO []string              // eviction order for done
+	lastSeen map[string]time.Time  // workerID → last contact
+	stats    Stats
+}
+
+// NewTable builds a lease table with the given heartbeat TTL
+// (DefaultTTL when ttl <= 0).
+func NewTable(ttl time.Duration) *Table {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Table{
+		ttl:      ttl,
+		now:      time.Now,
+		active:   make(map[string]*Lease),
+		byJob:    make(map[string]string),
+		done:     make(map[string]TokenState),
+		lastSeen: make(map[string]time.Time),
+	}
+}
+
+// TTL reports the table's heartbeat budget.
+func (t *Table) TTL() time.Duration { return t.ttl }
+
+// newToken mints an unguessable lease token.
+func newToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("fleet: crypto/rand unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Grant claims jobID for worker and returns the new lease. It refuses
+// to double-grant a job that already has an active lease — the caller
+// dispenses jobs from a queue, so this guards against bookkeeping bugs,
+// not expected contention.
+func (t *Table) Grant(jobID, worker string, attempt int) (*Lease, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	if tok, ok := t.byJob[jobID]; ok {
+		if l := t.active[tok]; l != nil && now.Before(l.Deadline) {
+			return nil, fmt.Errorf("%w: job %s held by %s", ErrJobLeased, jobID, l.Worker)
+		}
+	}
+	l := &Lease{
+		Token:    newToken(),
+		JobID:    jobID,
+		Worker:   worker,
+		Attempt:  attempt,
+		Granted:  now,
+		Deadline: now.Add(t.ttl),
+	}
+	t.active[l.Token] = l
+	t.byJob[jobID] = l.Token
+	t.lastSeen[worker] = now
+	t.stats.Granted++
+	cp := *l
+	return &cp, nil
+}
+
+// Heartbeat renews the lease's deadline and returns the new one.
+// Returns ErrLeaseGone (wrapped with the token's precise state) when
+// the lease is no longer active — the worker must abandon the job.
+func (t *Table) Heartbeat(token string) (time.Time, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.active[token]
+	if !ok {
+		return time.Time{}, t.goneLocked(token)
+	}
+	now := t.now()
+	l.Deadline = now.Add(t.ttl)
+	l.Renewals++
+	t.lastSeen[l.Worker] = now
+	t.stats.Heartbeats++
+	return l.Deadline, nil
+}
+
+// Peek returns a copy of the active lease for token, or its state when
+// it is not active. Callers use this to locate the job before running
+// verification that must happen outside the table's lock.
+func (t *Table) Peek(token string) (*Lease, TokenState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l, ok := t.active[token]; ok {
+		cp := *l
+		return &cp, TokenActive
+	}
+	return nil, t.done[token]
+}
+
+// Resolve marks an active lease completed and removes it. The caller
+// verifies the completion (artifact hash, cache key) *before* calling;
+// a failed verification leaves the lease active so the worker can
+// retry the upload.
+func (t *Table) Resolve(token string) (*Lease, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.active[token]
+	if !ok {
+		return nil, t.goneLocked(token)
+	}
+	t.retireLocked(l, TokenCompleted)
+	t.lastSeen[l.Worker] = t.now()
+	t.stats.Completed++
+	cp := *l
+	return &cp, nil
+}
+
+// ExpireDue removes every lease whose deadline has passed and returns
+// them; the caller requeues the jobs and journals the transitions.
+func (t *Table) ExpireDue() []*Lease {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	var out []*Lease
+	for _, l := range t.active {
+		if now.Before(l.Deadline) {
+			continue
+		}
+		t.retireLocked(l, TokenExpired)
+		t.stats.Expired++
+		cp := *l
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Granted.Before(out[j].Granted) })
+	return out
+}
+
+// retireLocked moves a lease out of the active set and tombstones its
+// token with the given final state. Caller holds t.mu.
+func (t *Table) retireLocked(l *Lease, final TokenState) {
+	delete(t.active, l.Token)
+	if t.byJob[l.JobID] == l.Token {
+		delete(t.byJob, l.JobID)
+	}
+	t.done[l.Token] = final
+	t.doneFIFO = append(t.doneFIFO, l.Token)
+	for len(t.doneFIFO) > doneTombstones {
+		delete(t.done, t.doneFIFO[0])
+		t.doneFIFO = t.doneFIFO[1:]
+	}
+}
+
+// goneLocked builds the error for a non-active token, including its
+// tombstoned state when known. Caller holds t.mu.
+func (t *Table) goneLocked(token string) error {
+	if s := t.done[token]; s != TokenUnknown {
+		return fmt.Errorf("%w (%s)", ErrLeaseGone, s)
+	}
+	return ErrLeaseGone
+}
+
+// Active returns the active leases sorted by grant time.
+func (t *Table) Active() []LeaseInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]LeaseInfo, 0, len(t.active))
+	for _, l := range t.active {
+		out = append(out, LeaseInfo{
+			Token: l.Token, JobID: l.JobID, Worker: l.Worker,
+			Attempt: l.Attempt, Granted: l.Granted,
+			Deadline: l.Deadline, Renewals: l.Renewals,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Granted.Equal(out[j].Granted) {
+			return out[i].Granted.Before(out[j].Granted)
+		}
+		return out[i].Token < out[j].Token
+	})
+	return out
+}
+
+// ActiveCount reports the number of live leases.
+func (t *Table) ActiveCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.active)
+}
+
+// TouchWorker records contact from a worker outside the lease
+// lifecycle (an acquire that found no work still proves liveness).
+func (t *Table) TouchWorker(worker string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lastSeen[worker] = t.now()
+}
+
+// WorkersConnected counts workers heard from within the window, and
+// prunes entries older than that so the map cannot grow unboundedly.
+func (t *Table) WorkersConnected(window time.Duration) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cutoff := t.now().Add(-window)
+	n := 0
+	for w, seen := range t.lastSeen {
+		if seen.Before(cutoff) {
+			delete(t.lastSeen, w)
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// Stats returns the lifetime counters.
+func (t *Table) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}

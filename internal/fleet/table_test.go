@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Table's notion of time deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClockedTable(ttl time.Duration) (*Table, *fakeClock) {
+	clk := &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+	tab := NewTable(ttl)
+	tab.now = clk.now
+	return tab, clk
+}
+
+// TestLeaseLifecycleHappyPath covers grant → heartbeat → resolve.
+func TestLeaseLifecycleHappyPath(t *testing.T) {
+	tab, clk := newClockedTable(10 * time.Second)
+	l, err := tab.Grant("job-1", "w1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Token == "" || l.JobID != "job-1" || l.Worker != "w1" || l.Attempt != 1 {
+		t.Fatalf("bad lease %+v", l)
+	}
+	if want := clk.t.Add(10 * time.Second); !l.Deadline.Equal(want) {
+		t.Fatalf("deadline %v, want %v", l.Deadline, want)
+	}
+	if n := tab.ActiveCount(); n != 1 {
+		t.Fatalf("active = %d", n)
+	}
+
+	clk.advance(4 * time.Second)
+	dl, err := tab.Heartbeat(l.Token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := clk.t.Add(10 * time.Second); !dl.Equal(want) {
+		t.Fatalf("renewed deadline %v, want %v", dl, want)
+	}
+
+	got, state := tab.Peek(l.Token)
+	if state != TokenActive || got.JobID != "job-1" {
+		t.Fatalf("peek = %+v, %v", got, state)
+	}
+
+	done, err := tab.Resolve(l.Token)
+	if err != nil || done.JobID != "job-1" {
+		t.Fatalf("resolve = %+v, %v", done, err)
+	}
+	if n := tab.ActiveCount(); n != 0 {
+		t.Fatalf("active after resolve = %d", n)
+	}
+	if _, state := tab.Peek(l.Token); state != TokenCompleted {
+		t.Fatalf("tombstone state = %v, want completed", state)
+	}
+	s := tab.Stats()
+	if s.Granted != 1 || s.Heartbeats != 1 || s.Completed != 1 || s.Expired != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestLeaseExpiry checks that a missed deadline expires the lease, that
+// the expired token answers heartbeats with ErrLeaseGone, and that the
+// job becomes grantable again.
+func TestLeaseExpiry(t *testing.T) {
+	tab, clk := newClockedTable(time.Second)
+	l, err := tab.Grant("job-1", "w1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp := tab.ExpireDue(); len(exp) != 0 {
+		t.Fatalf("premature expiry: %+v", exp)
+	}
+	clk.advance(time.Second)
+	exp := tab.ExpireDue()
+	if len(exp) != 1 || exp[0].Token != l.Token || exp[0].JobID != "job-1" {
+		t.Fatalf("expired = %+v", exp)
+	}
+	if _, err := tab.Heartbeat(l.Token); !errors.Is(err, ErrLeaseGone) {
+		t.Fatalf("heartbeat after expiry: %v", err)
+	}
+	if _, err := tab.Resolve(l.Token); !errors.Is(err, ErrLeaseGone) {
+		t.Fatalf("resolve after expiry: %v", err)
+	}
+	if _, state := tab.Peek(l.Token); state != TokenExpired {
+		t.Fatalf("tombstone = %v, want expired", state)
+	}
+	// The job is free again: a second worker can take it.
+	l2, err := tab.Grant("job-1", "w2", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Token == l.Token {
+		t.Fatal("token reused across grants")
+	}
+	if s := tab.Stats(); s.Expired != 1 || s.Granted != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestDoubleGrantRefused checks the table refuses to lease a job that
+// already has a live lease.
+func TestDoubleGrantRefused(t *testing.T) {
+	tab, _ := newClockedTable(time.Minute)
+	if _, err := tab.Grant("job-1", "w1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Grant("job-1", "w2", 1); !errors.Is(err, ErrJobLeased) {
+		t.Fatalf("double grant: %v", err)
+	}
+}
+
+// TestHeartbeatKeepsLeaseAlive checks renewal pushes the deadline past
+// where the original would have expired.
+func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
+	tab, clk := newClockedTable(time.Second)
+	l, _ := tab.Grant("job-1", "w1", 1)
+	for i := 0; i < 5; i++ {
+		clk.advance(700 * time.Millisecond)
+		if _, err := tab.Heartbeat(l.Token); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+		if exp := tab.ExpireDue(); len(exp) != 0 {
+			t.Fatalf("lease expired despite heartbeats: %+v", exp)
+		}
+	}
+}
+
+// TestWorkersConnected checks the liveness window counts and prunes.
+func TestWorkersConnected(t *testing.T) {
+	tab, clk := newClockedTable(time.Second)
+	tab.TouchWorker("w1")
+	tab.TouchWorker("w2")
+	if n := tab.WorkersConnected(10 * time.Second); n != 2 {
+		t.Fatalf("connected = %d, want 2", n)
+	}
+	clk.advance(8 * time.Second)
+	tab.TouchWorker("w2")
+	clk.advance(4 * time.Second) // w1 last seen 12s ago, w2 4s ago
+	if n := tab.WorkersConnected(10 * time.Second); n != 1 {
+		t.Fatalf("connected = %d, want 1", n)
+	}
+}
+
+// TestActiveListing checks Active returns grant-ordered lease rows.
+func TestActiveListing(t *testing.T) {
+	tab, clk := newClockedTable(time.Minute)
+	tab.Grant("job-a", "w1", 1)
+	clk.advance(time.Second)
+	tab.Grant("job-b", "w2", 1)
+	rows := tab.Active()
+	if len(rows) != 2 || rows[0].JobID != "job-a" || rows[1].JobID != "job-b" {
+		t.Fatalf("active = %+v", rows)
+	}
+	if rows[1].Worker != "w2" {
+		t.Fatalf("row = %+v", rows[1])
+	}
+}
+
+// TestTombstoneEviction checks the done FIFO stays bounded.
+func TestTombstoneEviction(t *testing.T) {
+	tab, _ := newClockedTable(time.Minute)
+	var first string
+	for i := 0; i < doneTombstones+10; i++ {
+		l, err := tab.Grant("job", "w", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = l.Token
+		}
+		if _, err := tab.Resolve(l.Token); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(tab.done) > doneTombstones {
+		t.Fatalf("done grew to %d", len(tab.done))
+	}
+	if _, state := tab.Peek(first); state != TokenUnknown {
+		t.Fatalf("oldest tombstone state = %v, want unknown (evicted)", state)
+	}
+}

@@ -1,0 +1,322 @@
+package fleet
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cliutil"
+)
+
+// fakeCoordinator is a minimal in-memory coordinator: a queue of
+// grants, a lease table, and recorded completions. It exercises the
+// Worker loop without pulling in internal/server.
+type fakeCoordinator struct {
+	mu          sync.Mutex
+	queue       []*Grant
+	table       *Table
+	completions []CompleteRequest
+	heartbeats  int
+	goneTokens  map[string]bool // tokens to answer 410 for
+}
+
+func newFakeCoordinator(ttl time.Duration) *fakeCoordinator {
+	return &fakeCoordinator{table: NewTable(ttl), goneTokens: map[string]bool{}}
+}
+
+func (f *fakeCoordinator) push(jobID string, request string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.queue = append(f.queue, &Grant{
+		JobID:    jobID,
+		CacheKey: "key-" + jobID,
+		Attempt:  1,
+		Request:  json.RawMessage(request),
+	})
+}
+
+func (f *fakeCoordinator) handler(t *testing.T) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/leases", func(w http.ResponseWriter, r *http.Request) {
+		var req AcquireRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if len(f.queue) == 0 {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		g := f.queue[0]
+		f.queue = f.queue[1:]
+		l, err := f.table.Grant(g.JobID, req.WorkerID, g.Attempt)
+		if err != nil {
+			t.Errorf("grant: %v", err)
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		g.Token = l.Token
+		g.TTLMillis = f.table.TTL().Milliseconds()
+		g.Deadline = l.Deadline
+		json.NewEncoder(w).Encode(g)
+	})
+	mux.HandleFunc("POST /v1/leases/{token}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		tok := r.PathValue("token")
+		f.mu.Lock()
+		gone := f.goneTokens[tok]
+		f.heartbeats++
+		f.mu.Unlock()
+		if gone {
+			http.Error(w, "lease gone", http.StatusGone)
+			return
+		}
+		dl, err := f.table.Heartbeat(tok)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusGone)
+			return
+		}
+		json.NewEncoder(w).Encode(HeartbeatResponse{Deadline: dl, TTLMillis: f.table.TTL().Milliseconds()})
+	})
+	mux.HandleFunc("POST /v1/leases/{token}/complete", func(w http.ResponseWriter, r *http.Request) {
+		tok := r.PathValue("token")
+		var req CompleteRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		l, err := f.table.Resolve(tok)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusGone)
+			return
+		}
+		f.mu.Lock()
+		f.completions = append(f.completions, req)
+		f.mu.Unlock()
+		res := ResolutionCompleted
+		if req.Error != "" {
+			res = ResolutionFailed
+		}
+		json.NewEncoder(w).Encode(CompleteResponse{Resolution: res, JobID: l.JobID})
+	})
+	return mux
+}
+
+func (f *fakeCoordinator) completed() []CompleteRequest {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]CompleteRequest(nil), f.completions...)
+}
+
+func testWorker(srvURL string, exec ExecuteFunc) *Worker {
+	return &Worker{
+		ID:      "w-test",
+		Client:  &cliutil.HTTPClient{Base: srvURL, Backoff: cliutil.Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond}},
+		Execute: exec,
+		Backoff: cliutil.Backoff{Base: time.Millisecond, Max: 10 * time.Millisecond},
+
+		heartbeatEvery: 20 * time.Millisecond,
+	}
+}
+
+// TestWorkerExecutesAndUploads runs two queued jobs through the pull
+// loop and checks both artifacts arrive with correct hashes.
+func TestWorkerExecutesAndUploads(t *testing.T) {
+	fc := newFakeCoordinator(time.Minute)
+	fc.push("job-1", `{"n":1}`)
+	fc.push("job-2", `{"n":2}`)
+	srv := httptest.NewServer(fc.handler(t))
+	defer srv.Close()
+
+	w := testWorker(srv.URL, func(ctx context.Context, req json.RawMessage, onProgress func(done, total uint64)) ([]byte, error) {
+		onProgress(50, 100)
+		return []byte(`{"artifact_for":` + string(req) + `}`), nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx, context.Background()) }()
+
+	deadline := time.After(10 * time.Second)
+	for len(fc.completed()) < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("timed out; completions = %+v", fc.completed())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range fc.completed() {
+		sum := sha256.Sum256(c.Artifact)
+		if hex.EncodeToString(sum[:]) != c.ArtifactSHA {
+			t.Fatalf("artifact sha mismatch: %+v", c)
+		}
+		if !strings.Contains(string(c.Artifact), "artifact_for") {
+			t.Fatalf("unexpected artifact %q", c.Artifact)
+		}
+	}
+}
+
+// TestWorkerReportsFailure checks an Execute error is reported as a
+// failure completion rather than left to lease expiry.
+func TestWorkerReportsFailure(t *testing.T) {
+	fc := newFakeCoordinator(time.Minute)
+	fc.push("job-1", `{}`)
+	srv := httptest.NewServer(fc.handler(t))
+	defer srv.Close()
+
+	w := testWorker(srv.URL, func(ctx context.Context, req json.RawMessage, onProgress func(done, total uint64)) ([]byte, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go w.Run(ctx, context.Background())
+	defer cancel()
+
+	deadline := time.After(10 * time.Second)
+	for len(fc.completed()) < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("no failure report arrived")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	c := fc.completed()[0]
+	if c.Error != "boom" || len(c.Artifact) != 0 {
+		t.Fatalf("completion = %+v", c)
+	}
+	if c.Transient {
+		t.Fatal("plain error must not be transient")
+	}
+}
+
+// TestWorkerPanicIsTransient checks a panicking Execute is recovered
+// and reported as a transient failure.
+func TestWorkerPanicIsTransient(t *testing.T) {
+	fc := newFakeCoordinator(time.Minute)
+	fc.push("job-1", `{}`)
+	srv := httptest.NewServer(fc.handler(t))
+	defer srv.Close()
+
+	w := testWorker(srv.URL, func(ctx context.Context, req json.RawMessage, onProgress func(done, total uint64)) ([]byte, error) {
+		panic("engine exploded")
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go w.Run(ctx, context.Background())
+	defer cancel()
+
+	deadline := time.After(10 * time.Second)
+	for len(fc.completed()) < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("no failure report arrived")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	c := fc.completed()[0]
+	if !c.Transient || !strings.Contains(c.Error, "engine exploded") {
+		t.Fatalf("completion = %+v", c)
+	}
+}
+
+// TestWorkerAbandonsLostLease checks that a 410 heartbeat cancels the
+// in-flight execution.
+func TestWorkerAbandonsLostLease(t *testing.T) {
+	fc := newFakeCoordinator(time.Minute)
+	fc.push("job-1", `{}`)
+	srv := httptest.NewServer(fc.handler(t))
+	defer srv.Close()
+
+	execStarted := make(chan string, 1)
+	execCanceled := make(chan struct{})
+	w := testWorker(srv.URL, func(ctx context.Context, req json.RawMessage, onProgress func(done, total uint64)) ([]byte, error) {
+		execStarted <- "" // token unknown here; coordinator side records it
+		<-ctx.Done()
+		close(execCanceled)
+		return nil, ctx.Err()
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go w.Run(ctx, context.Background())
+	defer cancel()
+
+	select {
+	case <-execStarted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("execution never started")
+	}
+	// Mark every active token gone; the next heartbeat gets a 410.
+	fc.mu.Lock()
+	for _, l := range fc.table.Active() {
+		fc.goneTokens[l.Token] = true
+	}
+	fc.mu.Unlock()
+
+	select {
+	case <-execCanceled:
+	case <-time.After(10 * time.Second):
+		t.Fatal("execution not canceled after lease loss")
+	}
+}
+
+// TestWorkerDrainFinishesInFlight checks that canceling the run context
+// mid-job still executes and uploads the in-flight lease.
+func TestWorkerDrainFinishesInFlight(t *testing.T) {
+	fc := newFakeCoordinator(time.Minute)
+	fc.push("job-1", `{}`)
+	srv := httptest.NewServer(fc.handler(t))
+	defer srv.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	w := testWorker(srv.URL, func(ctx context.Context, req json.RawMessage, onProgress func(done, total uint64)) ([]byte, error) {
+		close(started)
+		<-release
+		return []byte(`{"ok":true}`), nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx, context.Background()) }()
+
+	<-started
+	cancel() // drain while the job is executing
+	close(release)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not drain")
+	}
+	if got := fc.completed(); len(got) != 1 || got[0].Error != "" {
+		t.Fatalf("completions = %+v", got)
+	}
+}
+
+// TestWorkerBacksOffWhenCoordinatorDown checks Run survives an
+// unreachable coordinator and exits cleanly on cancel.
+func TestWorkerBacksOffWhenCoordinatorDown(t *testing.T) {
+	w := testWorker("http://127.0.0.1:1", func(ctx context.Context, req json.RawMessage, onProgress func(done, total uint64)) ([]byte, error) {
+		t.Error("execute must not run")
+		return nil, nil
+	})
+	w.Client.MaxRetries = -1
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx, context.Background()) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit on cancel")
+	}
+}

@@ -48,6 +48,8 @@ type Entry struct {
 	Label       string          `json:"label,omitempty"` // sweep-child axis label
 	CacheKey    string          `json:"cache_key,omitempty"`
 	Attempt     int             `json:"attempt,omitempty"`
+	Worker      string          `json:"worker,omitempty"` // fleet lease: executing worker ID
+	Lease       string          `json:"lease,omitempty"`  // fleet lease: lease token
 	Error       string          `json:"error,omitempty"`
 	Request     json.RawMessage `json:"request,omitempty"`      // creation: the decoded-and-revalidated submission
 	ArtifactSHA string          `json:"artifact_sha,omitempty"` // completion: SHA-256 of the artifact bytes
@@ -276,6 +278,7 @@ type JobRecord struct {
 	State       string
 	CacheKey    string
 	Attempt     int
+	Worker      string
 	Error       string
 	Request     json.RawMessage
 	ArtifactSHA string
@@ -346,6 +349,9 @@ func Reduce(entries []Entry) *Reduced {
 			}
 			if e.Attempt > j.Attempt {
 				j.Attempt = e.Attempt
+			}
+			if e.Worker != "" {
+				j.Worker = e.Worker
 			}
 			if e.Error != "" {
 				j.Error = e.Error

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the content type of the text exposition
+// format version 0.0.4 that WritePrometheus emits.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// AcceptsPrometheus reports whether an HTTP Accept header asks for the
+// Prometheus text exposition format: either the versioned text/plain
+// media type a Prometheus server sends ("text/plain; version=0.0.4") or
+// an OpenMetrics request, which this writer answers with the 0.0.4
+// format it also parses.
+func AcceptsPrometheus(accept string) bool {
+	return strings.Contains(accept, "version=0.0.4") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// PrometheusName maps a hierarchical dotted metric path onto a
+// Prometheus metric name: segments joined by "_" under the given
+// prefix. Registry names are already lowercase [a-z0-9_.], which the
+// Prometheus data model accepts verbatim once the dots are replaced.
+func PrometheusName(prefix, name string) string {
+	return prefix + strings.ReplaceAll(name, ".", "_")
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): every counter as a `counter` family and every
+// gauge as a `gauge` family, names mapped via PrometheusName and sorted,
+// so repeated scrapes of the same state are byte-identical. Non-finite
+// gauge values use the format's NaN/+Inf/-Inf spellings.
+func WritePrometheus(w io.Writer, prefix string, s Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PrometheusName(prefix, n)
+		if _, err := fmt.Fprintf(w, "# HELP %s Counter %s.\n# TYPE %s counter\n%s %d\n",
+			pn, n, pn, pn, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PrometheusName(prefix, n)
+		if _, err := fmt.Fprintf(w, "# HELP %s Gauge %s.\n# TYPE %s gauge\n%s %s\n",
+			pn, n, pn, pn, promFloat(s.Gauges[n])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promFloat renders a gauge value the way the exposition format spells
+// floats: Go 'g' formatting for finite values, NaN/+Inf/-Inf otherwise.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

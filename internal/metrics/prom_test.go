@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusFormat pins the exposition bytes for a small
+// snapshot: deterministic ordering, dotted-to-underscore name mapping,
+// HELP/TYPE per family, non-finite gauge spellings.
+func TestWritePrometheusFormat(t *testing.T) {
+	s := Snapshot{
+		Counters: map[string]uint64{
+			"server.jobs.completed": 7,
+			"fleet.leases.expired":  0,
+		},
+		Gauges: map[string]float64{
+			"server.queue.depth": 3,
+			"llc.capacity":       0.5,
+			"wear.gini":          math.NaN(),
+			"forecast.months":    math.Inf(1),
+		},
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, "simd_", s); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP simd_fleet_leases_expired Counter fleet.leases.expired.",
+		"# TYPE simd_fleet_leases_expired counter",
+		"simd_fleet_leases_expired 0",
+		"# HELP simd_server_jobs_completed Counter server.jobs.completed.",
+		"# TYPE simd_server_jobs_completed counter",
+		"simd_server_jobs_completed 7",
+		"# HELP simd_forecast_months Gauge forecast.months.",
+		"# TYPE simd_forecast_months gauge",
+		"simd_forecast_months +Inf",
+		"# HELP simd_llc_capacity Gauge llc.capacity.",
+		"# TYPE simd_llc_capacity gauge",
+		"simd_llc_capacity 0.5",
+		"# HELP simd_server_queue_depth Gauge server.queue.depth.",
+		"# TYPE simd_server_queue_depth gauge",
+		"simd_server_queue_depth 3",
+		"# HELP simd_wear_gini Gauge wear.gini.",
+		"# TYPE simd_wear_gini gauge",
+		"simd_wear_gini NaN",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusParseable checks every emitted line against the
+// exposition grammar: comments, or `name value` samples whose names are
+// valid Prometheus metric identifiers.
+func TestWritePrometheusParseable(t *testing.T) {
+	r := NewRegistry()
+	var c uint64 = 42
+	r.Counter("a.b.c_total", &c)
+	g := 1.25
+	r.Gauge("x.y_9", &g)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, "simd_", r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]* (NaN|[+-]Inf|[0-9.eE+-]+)$`)
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+	}
+}
+
+// TestAcceptsPrometheus pins the negotiation triggers.
+func TestAcceptsPrometheus(t *testing.T) {
+	for _, accept := range []string{
+		"text/plain; version=0.0.4",
+		"text/plain;version=0.0.4;q=0.5, */*;q=0.1",
+		"application/openmetrics-text; version=1.0.0",
+	} {
+		if !AcceptsPrometheus(accept) {
+			t.Errorf("Accept %q should select the Prometheus format", accept)
+		}
+	}
+	for _, accept := range []string{"", "text/plain", "application/json", "text/csv"} {
+		if AcceptsPrometheus(accept) {
+			t.Errorf("Accept %q should not select the Prometheus format", accept)
+		}
+	}
+}

@@ -160,6 +160,9 @@ type JobStatus struct {
 	// position on its axes, for sweep children.
 	Sweep string `json:"sweep,omitempty"`
 	Label string `json:"label,omitempty"`
+	// Worker names the fleet worker that held (or holds) the job's
+	// lease; empty for jobs run by the coordinator's own pool.
+	Worker string `json:"worker,omitempty"`
 	// Recovered marks a job restored from the persistent store's journal
 	// after a daemon restart.
 	Recovered bool   `json:"recovered,omitempty"`

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/fleet"
 	"repro/internal/hier"
 	"repro/internal/metrics"
 	"repro/internal/report"
@@ -22,6 +24,10 @@ import (
 // maxBodyBytes bounds a submission body; configs are small JSON
 // documents, so anything past this is a client error.
 const maxBodyBytes = 1 << 20
+
+// maxArtifactBytes bounds a lease-completion upload: an artifact is the
+// epoch ring (bounded) plus a summary, far under this even base64-inflated.
+const maxArtifactBytes = 64 << 20
 
 // NewHandler builds the daemon's HTTP surface over a manager:
 //
@@ -36,8 +42,14 @@ const maxBodyBytes = 1 << 20
 //	POST /v1/sweeps           submit a batch sweep (202)
 //	GET  /v1/sweeps           list sweep statuses
 //	GET  /v1/sweeps/{id}      sweep status with per-child rows
+//	POST /v1/leases           fleet worker acquires the next job (204
+//	                          when idle; long-polls up to wait_millis)
+//	GET  /v1/leases           list active leases
+//	POST /v1/leases/{token}/heartbeat  renew a lease, report progress
+//	POST /v1/leases/{token}/complete   upload the artifact or an error
 //	GET  /healthz             liveness + drain state
-//	GET  /metrics             manager operational metrics
+//	GET  /metrics             manager operational metrics (Prometheus
+//	                          text format when Accept asks for it)
 //
 // Every request is wrapped in structured logging on log (nil discards).
 func NewHandler(m *Manager, log *slog.Logger) http.Handler {
@@ -55,6 +67,10 @@ func NewHandler(m *Manager, log *slog.Logger) http.Handler {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	mux.HandleFunc("GET /v1/sweeps", s.handleSweeps)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
+	mux.HandleFunc("POST /v1/leases", s.handleAcquireLease)
+	mux.HandleFunc("GET /v1/leases", s.handleListLeases)
+	mux.HandleFunc("POST /v1/leases/{token}/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /v1/leases/{token}/complete", s.handleComplete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.logging(mux)
@@ -440,7 +456,102 @@ func (s *apiServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": status})
 }
 
+// handleAcquireLease grants the next runnable job to a fleet worker.
+// 200 carries the grant; 204 means no work within the wait; 503 means
+// draining (the worker's client backs off and retries).
+func (s *apiServer) handleAcquireLease(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	var req fleet.AcquireRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("acquire request: %w", err))
+		return
+	}
+	g, err := s.m.AcquireLease(r.Context(), req.WorkerID, time.Duration(req.WaitMillis)*time.Millisecond)
+	switch {
+	case errors.Is(err, ErrNoWork):
+		w.WriteHeader(http.StatusNoContent)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, context.Canceled):
+		return // client went away
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, g)
+}
+
+func (s *apiServer) handleListLeases(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Leases())
+}
+
+// handleHeartbeat renews a lease; 410 tells the worker the lease is
+// gone and the run should be abandoned.
+func (s *apiServer) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	var req fleet.HeartbeatRequest
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("heartbeat request: %w", err))
+			return
+		}
+	}
+	resp, err := s.m.HeartbeatLease(r.PathValue("token"), req)
+	if err != nil {
+		writeError(w, http.StatusGone, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleComplete resolves a lease with an artifact upload or an error
+// report. 400 with the lease left active means the upload failed
+// verification and can be retried; 410 means the lease is gone.
+func (s *apiServer) handleComplete(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxArtifactBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	var req fleet.CompleteRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("complete request: %w", err))
+		return
+	}
+	resp, err := s.m.CompleteLease(r.PathValue("token"), req)
+	switch {
+	case errors.Is(err, fleet.ErrLeaseGone):
+		writeError(w, http.StatusGone, err)
+		return
+	case errors.Is(err, ErrArtifactMismatch):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *apiServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Prometheus exposition is negotiated first: a scraper's Accept
+	// header ("text/plain; version=0.0.4") or ?format=prometheus wins
+	// over the human report formats.
+	if metrics.AcceptsPrometheus(r.Header.Get("Accept")) || r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", metrics.PrometheusContentType)
+		metrics.WritePrometheus(w, "simd_", s.m.Registry().Snapshot())
+		return
+	}
 	f, err := wireFormat(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)

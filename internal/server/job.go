@@ -38,7 +38,8 @@ type Job struct {
 	finished  time.Time
 	done      uint64
 	total     uint64
-	attempts  int // execution attempts so far (retries increment)
+	attempts  int    // execution attempts so far (retries increment)
+	worker    string // fleet worker holding (or last holding) the job
 	recovered bool
 	epochs    []metrics.Sample
 	notify    chan struct{}
@@ -102,6 +103,36 @@ func (j *Job) markRunning() bool {
 	j.started = time.Now()
 	j.wake()
 	return true
+}
+
+// markRequeued transitions running → queued: the job's lease expired or
+// its attempt failed transiently, and it goes back on the queue for the
+// next worker. Reports false when the job is not currently running
+// (terminal states stay terminal — a requeue must never resurrect a
+// completed job).
+func (j *Job) markRequeued() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning {
+		return false
+	}
+	j.state = StateQueued
+	j.wake()
+	return true
+}
+
+// setWorker records which fleet worker holds the job's lease.
+func (j *Job) setWorker(worker string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.worker = worker
+}
+
+// Worker returns the fleet worker holding (or last holding) the job.
+func (j *Job) Worker() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.worker
 }
 
 // beginAttempt records one more execution attempt, clearing any epochs a
@@ -190,14 +221,17 @@ func (j *Job) setProgress(done, total uint64) {
 	j.done, j.total = done, total
 }
 
-// finish moves the job to a terminal state. The final epoch series is
-// replaced by the result's (ring-bounded) series on success so polls and
-// streams agree with what the report renders.
-func (j *Job) finish(state JobState, res *Result, err error) {
+// finish moves the job to a terminal state, reporting whether this call
+// performed the transition (false: the job was already terminal, and
+// nothing changed — the caller must not count or journal a second
+// terminal outcome). The final epoch series is replaced by the result's
+// (ring-bounded) series on success so polls and streams agree with what
+// the report renders.
+func (j *Job) finish(state JobState, res *Result, err error) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {
-		return
+		return false
 	}
 	j.state = state
 	j.finished = time.Now()
@@ -211,6 +245,7 @@ func (j *Job) finish(state JobState, res *Result, err error) {
 		j.epochs = res.Epochs
 	}
 	j.wake()
+	return true
 }
 
 // setEstimate records the planner's analytic estimate for the child.
@@ -266,6 +301,7 @@ func (j *Job) Status() JobStatus {
 		CacheKey:       j.cacheKey,
 		Sweep:          j.sweepID,
 		Label:          j.label,
+		Worker:         j.worker,
 		Recovered:      j.recovered,
 	}
 	if !j.started.IsZero() {

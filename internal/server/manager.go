@@ -17,6 +17,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/jobstore"
 	"repro/internal/metrics"
 )
@@ -36,8 +37,9 @@ const stateRetrying = "retrying"
 
 // Options tune a Manager. The zero value picks sensible daemon defaults.
 type Options struct {
-	// Workers caps concurrently running simulations; <= 0 uses
-	// GOMAXPROCS.
+	// Workers caps concurrently running local simulations; 0 uses
+	// GOMAXPROCS. Negative runs no local pool at all — a remote-only
+	// coordinator whose queue is drained exclusively by fleet leases.
 	Workers int
 	// QueueDepth bounds jobs accepted but not yet running; a full queue
 	// rejects submissions with ErrQueueFull (backpressure, not
@@ -66,6 +68,10 @@ type Options struct {
 	// CheckpointEvery throttles journal checkpoint entries per job; 0
 	// defaults to 1s, negative journals every epoch checkpoint (tests).
 	CheckpointEvery time.Duration
+	// LeaseTTL is the fleet lease heartbeat budget: a remote worker that
+	// misses it has its lease expired and its job requeued. 0 uses
+	// fleet.DefaultTTL.
+	LeaseTTL time.Duration
 	// Logger receives structured job lifecycle events; nil discards them.
 	Logger *slog.Logger
 }
@@ -90,6 +96,7 @@ type Manager struct {
 	rootCancel context.CancelFunc
 	wg         sync.WaitGroup
 	reg        *metrics.Registry
+	leases     *fleet.Table
 
 	mu       sync.Mutex // guards jobs/order/sweeps/sweepOrder/draining/seq/sweepSeq and queue sends vs drain
 	jobs     map[string]*Job
@@ -115,6 +122,8 @@ type Manager struct {
 	estimates       atomic.Uint64
 	estCalibrations atomic.Uint64
 	estCacheHits    atomic.Uint64
+	leasesRequeued  atomic.Uint64 // jobs put back on the queue by lease expiry
+	leasesDup       atomic.Uint64 // duplicate completions resolved by hash
 	running         atomic.Int64
 	meanNanos       atomic.Uint64 // EWMA of job wall time, as float64 bits
 
@@ -135,7 +144,10 @@ type Manager struct {
 // unreadable journal is an error (a durable daemon must not silently
 // forget history). Stop the manager with Drain (graceful) or Close.
 func NewManager(opts Options) (*Manager, error) {
-	if opts.Workers <= 0 {
+	switch {
+	case opts.Workers < 0:
+		opts.Workers = 0 // remote-only: fleet leases drain the queue
+	case opts.Workers == 0:
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	if opts.QueueDepth <= 0 {
@@ -195,6 +207,22 @@ func NewManager(opts Options) (*Manager, error) {
 	if m.store != nil {
 		m.reg.GaugeFunc("server.store.artifacts", func() float64 { return float64(m.store.CountArtifacts()) })
 	}
+	m.leases = fleet.NewTable(opts.LeaseTTL)
+	m.reg.CounterFunc("fleet.leases.granted", func() uint64 { return m.leases.Stats().Granted })
+	m.reg.CounterFunc("fleet.leases.expired", func() uint64 { return m.leases.Stats().Expired })
+	m.reg.CounterFunc("fleet.leases.completed", func() uint64 { return m.leases.Stats().Completed })
+	m.reg.CounterFunc("fleet.heartbeats", func() uint64 { return m.leases.Stats().Heartbeats })
+	counter("fleet.leases.requeued", &m.leasesRequeued)
+	counter("fleet.leases.duplicates", &m.leasesDup)
+	m.reg.GaugeFunc("fleet.leases.active", func() float64 { return float64(m.leases.ActiveCount()) })
+	workerWindow := 3 * m.leases.TTL()
+	if workerWindow < 15*time.Second {
+		workerWindow = 15 * time.Second
+	}
+	m.reg.GaugeFunc("fleet.workers.connected", func() float64 {
+		return float64(m.leases.WorkersConnected(workerWindow))
+	})
+	go m.leaseExpiryLoop()
 	m.wg.Add(opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
 		go m.worker()
@@ -576,6 +604,22 @@ func (m *Manager) Drain(ctx context.Context) error {
 		close(m.drainc)
 	}
 	m.mu.Unlock()
+	// A remote-only coordinator has no local pool to drain the queue,
+	// and fleet acquires are refused once draining — cancel what queued
+	// jobs remain so sweep watchers (and therefore m.wg) can finish.
+	// In-flight leases still complete through CompleteLease or expire
+	// into a draining requeue, which also cancels.
+	if m.opts.Workers == 0 {
+		for {
+			select {
+			case j := <-m.queue:
+				m.finishJob(j, StateCanceled, nil, ErrDraining, cliutil.TaskResult{})
+				continue
+			default:
+			}
+			break
+		}
+	}
 	done := make(chan struct{})
 	go func() {
 		m.wg.Wait()
@@ -647,7 +691,11 @@ func (m *Manager) RetryAfterSeconds() int {
 		return 1
 	}
 	backlog := float64(len(m.queue) + 1)
-	secs := int(math.Ceil(mean * backlog / float64(m.opts.Workers) / float64(time.Second)))
+	workers := m.opts.Workers
+	if workers < 1 {
+		workers = 1 // remote-only: assume at least one fleet worker
+	}
+	secs := int(math.Ceil(mean * backlog / float64(workers) / float64(time.Second)))
 	if secs < 1 {
 		secs = 1
 	}
@@ -657,9 +705,11 @@ func (m *Manager) RetryAfterSeconds() int {
 	return secs
 }
 
-// runJob executes one job behind the recover barrier, retrying
-// transient failures (panics, per-attempt timeouts) with jittered
-// backoff up to Options.Retries times, and publishes the terminal state.
+// runJob executes one attempt of a job behind the recover barrier. A
+// transient failure (panic, per-attempt timeout) within the retry
+// budget goes back on the queue through requeueJob — the same path
+// lease expiry uses — so the worker is free during the backoff and the
+// retry/requeue accounting cannot drift between the two.
 func (m *Manager) runJob(j *Job) {
 	if hook := m.beforeRun; hook != nil {
 		hook(j)
@@ -671,65 +721,129 @@ func (m *Manager) runJob(j *Job) {
 	defer m.running.Add(-1)
 	m.journalJob(j, string(StateRunning), nil)
 
-	maxAttempts := m.opts.Retries + 1
-	for {
-		attempt := j.beginAttempt()
-		start := time.Now()
-		ctx := m.rootCtx
-		cancel := context.CancelFunc(func() {})
-		if m.opts.JobTimeout > 0 {
-			ctx, cancel = context.WithTimeout(ctx, m.opts.JobTimeout)
-		}
-		j.cancel = cancel
+	attempt := j.beginAttempt()
+	start := time.Now()
+	ctx := m.rootCtx
+	cancel := context.CancelFunc(func() {})
+	if m.opts.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, m.opts.JobTimeout)
+	}
+	j.cancel = cancel
 
-		var res *Result
-		outcome := cliutil.RunTask(cliutil.Task{
-			Name: j.id,
-			Run: func() error {
-				if hook := m.beforeAttempt; hook != nil {
-					if err := hook(j, attempt); err != nil {
-						return err
-					}
+	var res *Result
+	outcome := cliutil.RunTask(cliutil.Task{
+		Name: j.id,
+		Run: func() error {
+			if hook := m.beforeAttempt; hook != nil {
+				if err := hook(j, attempt); err != nil {
+					return err
 				}
-				r, err := m.simulate(ctx, j)
-				res = r
-				return err
-			},
-		}, 0)
-		cancel()
+			}
+			r, err := m.simulate(ctx, j)
+			res = r
+			return err
+		},
+	}, 0)
+	cancel()
 
-		err := outcome.Err
-		if err == nil {
-			m.observeDuration(time.Since(start))
-			m.finishJob(j, StateCompleted, res, nil, outcome)
+	err := outcome.Err
+	if err == nil {
+		m.observeDuration(time.Since(start))
+		m.finishJob(j, StateCompleted, res, nil, outcome)
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		m.finishJob(j, StateCanceled, nil, err, outcome)
+		return
+	}
+	transient := outcome.Panicked || outcome.TimedOut || errors.Is(err, context.DeadlineExceeded)
+	if transient && attempt < m.opts.Retries+1 && m.rootCtx.Err() == nil {
+		if m.requeueJob(j, requeueRetry, attempt, "", "", err) {
 			return
 		}
-		if errors.Is(err, context.Canceled) {
-			m.finishJob(j, StateCanceled, nil, err, outcome)
-			return
-		}
-		transient := outcome.Panicked || outcome.TimedOut || errors.Is(err, context.DeadlineExceeded)
-		if transient && attempt < maxAttempts && m.rootCtx.Err() == nil {
-			delay := m.opts.RetryBackoff.Delay(attempt, nil)
-			m.retried.Add(1)
-			m.journalJob(j, stateRetrying, err)
-			m.log.Warn("job attempt failed, retrying", "job", j.id, "sweep", j.sweepID,
-				"attempt", attempt, "of", maxAttempts, "backoff", delay.Round(time.Millisecond),
-				"err", err, "panicked", outcome.Panicked)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("job timeout %v exceeded after %d attempt(s)", m.opts.JobTimeout, attempt)
+	}
+	m.finishJob(j, StateFailed, nil, err, outcome)
+}
+
+// requeueReason distinguishes why a running job goes back on the queue.
+type requeueReason int
+
+const (
+	// requeueRetry: the attempt failed transiently and the retry budget
+	// allows another (jittered backoff applies).
+	requeueRetry requeueReason = iota
+	// requeueLease: the job's fleet lease expired; requeue immediately
+	// (the backoff already happened — it was the missed TTL).
+	requeueLease
+)
+
+// requeueJob is the single path every requeue takes — local retry
+// backoff and fleet lease expiry alike — so the counters, journal
+// entries, and backoff accounting cannot drift between them. It flips
+// the job running → queued, journals the transition (with the worker
+// and lease for expiries), and re-enqueues after the reason's delay
+// without holding a pool worker. False means the job was not running
+// anymore (already terminal, or racing another requeue) and nothing
+// was done.
+func (m *Manager) requeueJob(j *Job, reason requeueReason, attempt int, worker, lease string, cause error) bool {
+	if !j.markRequeued() {
+		return false
+	}
+	var delay time.Duration
+	entry := jobstore.Entry{Kind: jobstore.KindJob, ID: j.id,
+		Sweep: j.sweepID, Label: j.label, CacheKey: j.cacheKey,
+		Attempt: attempt, Worker: worker, Lease: lease}
+	if cause != nil {
+		entry.Error = cause.Error()
+	}
+	switch reason {
+	case requeueRetry:
+		delay = m.opts.RetryBackoff.Delay(attempt, nil)
+		m.retried.Add(1)
+		entry.State = stateRetrying
+		m.log.Warn("job attempt failed, retrying", "job", j.id, "sweep", j.sweepID,
+			"worker", worker, "attempt", attempt, "of", m.opts.Retries+1,
+			"backoff", delay.Round(time.Millisecond), "err", cause)
+	case requeueLease:
+		m.leasesRequeued.Add(1)
+		entry.State = stateRequeued
+		m.log.Warn("job requeued", "job", j.id, "sweep", j.sweepID,
+			"worker", worker, "lease", lease, "attempt", attempt, "err", cause)
+	}
+	m.journal(entry)
+
+	// The re-enqueue goroutine joins m.wg so Drain waits for it — but
+	// only when the manager is not already draining (Add would race
+	// Drain's Wait); a draining manager cancels the job on the spot,
+	// which is what enqueueBlocking would do anyway.
+	m.mu.Lock()
+	draining := m.draining
+	if !draining {
+		m.wg.Add(1)
+	}
+	m.mu.Unlock()
+	if draining {
+		m.finishJob(j, StateCanceled, nil, ErrDraining, cliutil.TaskResult{})
+		return true
+	}
+	go func() {
+		defer m.wg.Done()
+		if delay > 0 {
 			select {
 			case <-time.After(delay):
-				continue
 			case <-m.rootCtx.Done():
-				m.finishJob(j, StateCanceled, nil, context.Canceled, outcome)
+				m.finishJob(j, StateCanceled, nil, context.Canceled, cliutil.TaskResult{})
 				return
 			}
 		}
-		if errors.Is(err, context.DeadlineExceeded) {
-			err = fmt.Errorf("job timeout %v exceeded after %d attempt(s)", m.opts.JobTimeout, attempt)
+		if !m.enqueueBlocking(j) {
+			m.finishJob(j, StateCanceled, nil, ErrDraining, cliutil.TaskResult{})
 		}
-		m.finishJob(j, StateFailed, nil, err, outcome)
-		return
-	}
+	}()
+	return true
 }
 
 // finishJob publishes a job's terminal state: counters, cache and
@@ -743,7 +857,12 @@ func (m *Manager) finishJob(j *Job, state JobState, res *Result, err error, outc
 	if state == StateCompleted {
 		sha = m.storeResult(j, res)
 	}
-	j.finish(state, res, err)
+	if !j.finish(state, res, err) {
+		// Already terminal: a racing completion (remote upload vs local
+		// re-run) or a cancel chasing a finished job. The first terminal
+		// state won; counting or journaling a second would lie.
+		return
+	}
 	switch state {
 	case StateCompleted:
 		m.cache.put(j.cacheKey, res)

@@ -109,6 +109,23 @@ func encodeResult(key string, r *Result) ([]byte, error) {
 	return blob, nil
 }
 
+// decodeResultKeyed rebuilds a Result and also returns the cache key
+// recorded inside the artifact, so remote-upload ingestion can verify
+// the worker ran the job it was leased (the key is the content address
+// of the request; an artifact claiming a different key is either a bug
+// or a forgery, and is rejected before anything is journaled).
+func decodeResultKeyed(data []byte) (*Result, string, error) {
+	var doc artifactDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, "", fmt.Errorf("server: decode artifact: %w", err)
+	}
+	res, err := decodeResult(data)
+	if err != nil {
+		return nil, "", err
+	}
+	return res, doc.Key, nil
+}
+
 // decodeResult rebuilds a Result from artifact bytes, rejecting
 // documents of a different codec version rather than misreading them.
 func decodeResult(data []byte) (*Result, error) {
